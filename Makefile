@@ -1,0 +1,46 @@
+# Development targets for the DEMON reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper table/figure (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Regenerate every table and figure of the paper's evaluation at laptop
+# scale; use SCALE=1.0 for paper-sized runs.
+SCALE ?= 0.1
+experiments:
+	$(GO) run ./cmd/demon-bench -exp all -scale $(SCALE)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/retail
+	$(GO) run ./examples/docclusters
+	$(GO) run ./examples/webproxy
+	$(GO) run ./examples/conceptdrift
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -rf bin

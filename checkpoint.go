@@ -1,0 +1,123 @@
+package demon
+
+import (
+	"fmt"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/borders"
+	"github.com/demon-mining/demon/internal/diskio"
+)
+
+// Checkpointing persists miner state through the miner's Store, following
+// the paper's Section 3.2.3 observation that models are negligibly small
+// next to the data: a restarted process restores the model(s) and resumes
+// block ingestion where it left off. Blocks and TID-lists already live in
+// the Store, so a checkpoint adds only the model collection and the
+// snapshot position.
+
+const (
+	minerCheckpointPrefix  = "checkpoint/itemset-miner"
+	windowCheckpointPrefix = "checkpoint/itemset-window-miner"
+)
+
+func putCheckpointMeta(store Store, prefix string, t BlockID, totalTx int) error {
+	buf := diskio.AppendUvarint(nil, uint64(t))
+	buf = diskio.AppendUvarint(buf, uint64(totalTx))
+	return store.Put(prefix+"/meta", buf)
+}
+
+func getCheckpointMeta(store Store, prefix string) (BlockID, int, error) {
+	data, err := store.Get(prefix + "/meta")
+	if err != nil {
+		return 0, 0, err
+	}
+	t, data, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return 0, 0, fmt.Errorf("demon: decoding checkpoint meta: %w", err)
+	}
+	total, _, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return 0, 0, fmt.Errorf("demon: decoding checkpoint meta: %w", err)
+	}
+	return BlockID(t), int(total), nil
+}
+
+// Checkpoint persists the miner's model and position into its Store.
+func (m *ItemsetMiner) Checkpoint() error {
+	ms := borders.NewModelStore(m.cfg.Store, minerCheckpointPrefix)
+	if err := ms.Save(0, m.model); err != nil {
+		return err
+	}
+	return putCheckpointMeta(m.cfg.Store, minerCheckpointPrefix, m.snap.T, m.totalTx)
+}
+
+// RestoreItemsetMiner rebuilds a miner from a checkpoint previously written
+// to cfg.Store by Checkpoint. The configuration must match the one the
+// checkpoint was taken under (same store contents; the threshold is restored
+// from the model).
+func RestoreItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("demon: restoring requires the original Store")
+	}
+	t, totalTx, err := getCheckpointMeta(cfg.Store, minerCheckpointPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("demon: no itemset-miner checkpoint: %w", err)
+	}
+	ms := borders.NewModelStore(cfg.Store, minerCheckpointPrefix)
+	model, err := ms.Load(0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.MinSupport = model.Lattice.MinSupport
+	m, err := NewItemsetMiner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.model = model
+	m.mt.MinSupport = model.Lattice.MinSupport
+	m.snap = blockseq.Snapshot{T: t}
+	m.totalTx = totalTx
+	return m, nil
+}
+
+// Checkpoint persists the window miner's whole model collection (all w GEMM
+// slots) and position into its Store.
+func (m *ItemsetWindowMiner) Checkpoint() error {
+	ms := borders.NewModelStore(m.cfg.Store, windowCheckpointPrefix)
+	for i, slot := range m.g.Slots() {
+		if err := ms.Save(i, slot); err != nil {
+			return err
+		}
+	}
+	return putCheckpointMeta(m.cfg.Store, windowCheckpointPrefix, m.snap.T, m.nextTx)
+}
+
+// RestoreItemsetWindowMiner rebuilds a window miner from a checkpoint. The
+// window configuration (size, BSS, strategy) must match the original; only
+// the store contents carry state.
+func RestoreItemsetWindowMiner(cfg ItemsetWindowMinerConfig) (*ItemsetWindowMiner, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("demon: restoring requires the original Store")
+	}
+	t, nextTx, err := getCheckpointMeta(cfg.Store, windowCheckpointPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("demon: no window-miner checkpoint: %w", err)
+	}
+	m, err := NewItemsetWindowMiner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ms := borders.NewModelStore(cfg.Store, windowCheckpointPrefix)
+	slots := make([]*borders.Model, m.g.WindowSize())
+	for i := range slots {
+		if slots[i], err = ms.Load(i); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.g.RestoreState(slots, t); err != nil {
+		return nil, err
+	}
+	m.snap = blockseq.Snapshot{T: t}
+	m.nextTx = nextTx
+	return m, nil
+}

@@ -1,0 +1,109 @@
+package demon
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestItemsetMinerCheckpointRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	store := NewMemStore()
+	m, err := NewItemsetMiner(ItemsetMinerConfig{MinSupport: 0.1, Strategy: ECUT, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks [][][]Item
+	for i := 0; i < 2; i++ {
+		rows := randomTxRows(rng, 60, 10, 4)
+		blocks = append(blocks, rows)
+		if _, err := m.AddBlock(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh miner over the same store.
+	r, err := RestoreItemsetMiner(ItemsetMinerConfig{MinSupport: 0.1, Strategy: ECUT, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != m.T() {
+		t.Fatalf("restored T = %d, want %d", r.T(), m.T())
+	}
+	assertLatticeEqual(t, r.Lattice(), m.Lattice())
+
+	// Both continue identically with a third block.
+	rows := randomTxRows(rng, 60, 10, 4)
+	blocks = append(blocks, rows)
+	if _, err := m.AddBlock(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddBlock(rows); err != nil {
+		t.Fatal(err)
+	}
+	assertLatticeEqual(t, r.Lattice(), m.Lattice())
+	assertLatticeEqual(t, r.Lattice(), aprioriRef(t, blocks, 0.1))
+}
+
+func TestItemsetWindowMinerCheckpointRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	store := NewMemStore()
+	cfg := ItemsetWindowMinerConfig{MinSupport: 0.1, Strategy: PTScan, WindowSize: 3, Store: store}
+	m, err := NewItemsetWindowMiner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks [][][]Item
+	for i := 0; i < 4; i++ {
+		rows := randomTxRows(rng, 50, 10, 4)
+		blocks = append(blocks, rows)
+		if _, err := m.AddBlock(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := RestoreItemsetWindowMiner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != m.T() || r.Window() != m.Window() {
+		t.Fatalf("restored position T=%d window=%v", r.T(), r.Window())
+	}
+	assertLatticeEqual(t, r.Current(), m.Current())
+
+	// Both slide identically after restore.
+	rows := randomTxRows(rng, 50, 10, 4)
+	blocks = append(blocks, rows)
+	if _, err := m.AddBlock(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddBlock(rows); err != nil {
+		t.Fatal(err)
+	}
+	assertLatticeEqual(t, r.Current(), m.Current())
+	assertLatticeEqual(t, r.Current(), aprioriRef(t, blocks[len(blocks)-3:], 0.1))
+	if !reflect.DeepEqual(r.FrequentItemsets(), m.FrequentItemsets()) {
+		t.Fatal("restored miner diverges in FrequentItemsets")
+	}
+}
+
+func TestRestoreWithoutCheckpoint(t *testing.T) {
+	if _, err := RestoreItemsetMiner(ItemsetMinerConfig{MinSupport: 0.1, Store: NewMemStore()}); err == nil {
+		t.Error("restored from empty store")
+	}
+	if _, err := RestoreItemsetMiner(ItemsetMinerConfig{MinSupport: 0.1}); err == nil {
+		t.Error("restored without a store")
+	}
+	if _, err := RestoreItemsetWindowMiner(ItemsetWindowMinerConfig{MinSupport: 0.1, WindowSize: 2, Store: NewMemStore()}); err == nil {
+		t.Error("restored window miner from empty store")
+	}
+	if _, err := RestoreItemsetWindowMiner(ItemsetWindowMinerConfig{MinSupport: 0.1, WindowSize: 2}); err == nil {
+		t.Error("restored window miner without a store")
+	}
+}

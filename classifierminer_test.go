@@ -1,0 +1,145 @@
+package demon
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// driftRecords draws linearly separable records; flip inverts the concept.
+func driftRecords(rng *rand.Rand, flip bool, n int) []LabeledRecord {
+	recs := make([]LabeledRecord, n)
+	for i := range recs {
+		x := rng.NormFloat64()*0.4 + float64(i%2)*4 - 2
+		y := 0
+		if (x > 0) != flip {
+			y = 1
+		}
+		recs[i] = LabeledRecord{X: []float64{x}, Y: y}
+	}
+	return recs
+}
+
+// TestClassifierWindowMinerForgetsOldConcept: after the window slides past
+// the concept change, the classifier reflects only the new concept.
+func TestClassifierWindowMinerForgetsOldConcept(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	m, err := NewClassifierWindowMiner(ClassifierWindowMinerConfig{
+		NumClasses: 2,
+		WindowSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two blocks of the old concept, then two of the flipped one.
+	for i := 0; i < 2; i++ {
+		if err := m.AddBlock(driftRecords(rng, false, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldTest := driftRecords(rng, false, 200)
+	c, err := m.Classifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Accuracy(oldTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("old-concept accuracy %v before drift", acc)
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := m.AddBlock(driftRecords(rng, true, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newTest := driftRecords(rng, true, 200)
+	c, err = m.Classifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The window now covers only flipped-concept blocks.
+	accNew, err := c.Accuracy(newTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accNew < 0.95 {
+		t.Fatalf("new-concept accuracy %v after window slid", accNew)
+	}
+	accOld, err := c.Accuracy(oldTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accOld > 0.2 {
+		t.Fatalf("classifier still fits the old concept: accuracy %v", accOld)
+	}
+	if m.Window() != (Window{Lo: 3, Hi: 4}) || m.T() != 4 {
+		t.Fatalf("window state %v T=%d", m.Window(), m.T())
+	}
+	if c.NumLeaves() < 2 {
+		t.Fatalf("leaves = %d", c.NumLeaves())
+	}
+	if _, err := c.Predict([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifierWindowMinerBSS(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	rel, err := ParseWindowRelBSS("10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewClassifierWindowMiner(ClassifierWindowMinerConfig{
+		NumClasses:   2,
+		WindowRelBSS: rel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ⟨10⟩ only the older block of the 2-window is selected.
+	if err := m.AddBlock(driftRecords(rng, false, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddBlock(driftRecords(rng, true, 300)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Classifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model comes from block 1 (old concept), not block 2.
+	acc, err := c.Accuracy(driftRecords(rng, false, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("BSS-selected block accuracy %v", acc)
+	}
+}
+
+func TestClassifierWindowMinerValidation(t *testing.T) {
+	if _, err := NewClassifierWindowMiner(ClassifierWindowMinerConfig{NumClasses: 1, WindowSize: 2}); err == nil {
+		t.Error("accepted single class")
+	}
+	if _, err := NewClassifierWindowMiner(ClassifierWindowMinerConfig{NumClasses: 2}); err == nil {
+		t.Error("accepted missing window size")
+	}
+	rel, _ := ParseWindowRelBSS("11")
+	if _, err := NewClassifierWindowMiner(ClassifierWindowMinerConfig{
+		NumClasses: 2, WindowRelBSS: rel, WindowSize: 3,
+	}); err == nil {
+		t.Error("accepted conflicting window size")
+	}
+	m, err := NewClassifierWindowMiner(ClassifierWindowMinerConfig{NumClasses: 2, WindowSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddBlock([]LabeledRecord{{X: []float64{1}, Y: 7}}); err == nil {
+		t.Error("accepted out-of-range label")
+	}
+	if _, err := m.Classifier(); err == nil {
+		t.Error("trained classifier over empty selection")
+	}
+}

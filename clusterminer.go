@@ -1,0 +1,230 @@
+package demon
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/demon-mining/demon/internal/birch"
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/cf"
+	"github.com/demon-mining/demon/internal/gemm"
+)
+
+// Cluster is one output cluster of the clustering miners.
+type Cluster struct {
+	// Centroid is the cluster center.
+	Centroid Point
+	// N is the number of points in the cluster.
+	N int
+	// Radius is the root-mean-squared distance of the cluster's points to
+	// the centroid.
+	Radius float64
+}
+
+func toClusters(m *birch.Model) []Cluster {
+	out := make([]Cluster, len(m.Clusters))
+	for i, c := range m.Clusters {
+		out[i] = Cluster{Centroid: c.Centroid(), N: c.CF.N, Radius: c.CF.Radius()}
+	}
+	return out
+}
+
+// ClusterMinerConfig configures a ClusterMiner.
+type ClusterMinerConfig struct {
+	// K is the required number of clusters.
+	K int
+	// BSS optionally restricts which blocks enter the model; defaults to
+	// all blocks.
+	BSS BSS
+	// Tree overrides the CF-tree parameters; the zero value selects the
+	// defaults (branching 8, 16 leaf entries per node, 512 sub-clusters).
+	Tree cf.TreeConfig
+}
+
+func (c ClusterMinerConfig) treeConfig() cf.TreeConfig {
+	if c.Tree == (cf.TreeConfig{}) {
+		return cf.DefaultTreeConfig()
+	}
+	return c.Tree
+}
+
+// ClusterMiner maintains a cluster model over the unrestricted window of a
+// systematically evolving database of points, using BIRCH+: the set of
+// sub-clusters stays resident and each new block is scanned exactly once.
+type ClusterMiner struct {
+	cfg  ClusterMinerConfig
+	plus *birch.Plus
+	snap blockseq.Snapshot
+	bss  BSS
+}
+
+// NewClusterMiner creates a miner over an empty database.
+func NewClusterMiner(cfg ClusterMinerConfig) (*ClusterMiner, error) {
+	plus, err := birch.NewPlus(birch.Config{Tree: cfg.treeConfig(), K: cfg.K})
+	if err != nil {
+		return nil, err
+	}
+	bss := cfg.BSS
+	if bss == nil {
+		bss = AllBlocks()
+	}
+	return &ClusterMiner{cfg: cfg, plus: plus, bss: bss}, nil
+}
+
+// AddBlock appends the next block of points; when the BSS selects it, the
+// resident sub-cluster set absorbs it (one scan). It returns the response
+// time of the scan.
+func (m *ClusterMiner) AddBlock(points []Point) (time.Duration, error) {
+	snap, id := m.snap.Append()
+	m.snap = snap
+	if !m.bss.Bit(id) {
+		return 0, nil
+	}
+	start := time.Now()
+	if err := m.plus.AddBlock(points); err != nil {
+		return 0, fmt.Errorf("demon: clustering block %d: %w", id, err)
+	}
+	return time.Since(start), nil
+}
+
+// Clusters runs BIRCH phase 2 on the resident sub-clusters and returns the
+// K clusters of all selected data so far.
+func (m *ClusterMiner) Clusters() ([]Cluster, error) {
+	model, err := m.plus.Clusters()
+	if err != nil {
+		return nil, err
+	}
+	return toClusters(model), nil
+}
+
+// Assign labels each point with the index of its nearest cluster — the
+// optional second scan of Section 3.1.2.
+func (m *ClusterMiner) Assign(points []Point) ([]int, error) {
+	model, err := m.plus.Clusters()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(points))
+	for i, p := range points {
+		out[i] = model.Assign(p)
+	}
+	return out, nil
+}
+
+// T returns the identifier of the latest ingested block.
+func (m *ClusterMiner) T() BlockID { return m.snap.T }
+
+// NumSubClusters returns the size of the resident sub-cluster set.
+func (m *ClusterMiner) NumSubClusters() int { return m.plus.NumSubClusters() }
+
+// birchAdapter lets GEMM drive BIRCH+ — each GEMM slot owns an independent
+// CF-tree, exactly the "collection of models" of Section 3.2 (BIRCH
+// sub-cluster sets cannot be maintained under deletions, which is the
+// paper's canonical argument for GEMM).
+type birchAdapter struct {
+	cfg birch.Config
+}
+
+func (a birchAdapter) Empty() *birch.Plus {
+	p, err := birch.NewPlus(a.cfg)
+	if err != nil {
+		// Config is validated at miner construction; a failure here is a
+		// programming error.
+		panic(fmt.Sprintf("demon: birch adapter: %v", err))
+	}
+	return p
+}
+
+func (a birchAdapter) Add(p *birch.Plus, blk []cf.Point) (*birch.Plus, error) {
+	if err := p.AddBlock(blk); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ClusterWindowMinerConfig configures a ClusterWindowMiner; the field
+// semantics mirror ItemsetWindowMinerConfig.
+type ClusterWindowMinerConfig struct {
+	// K is the required number of clusters.
+	K int
+	// WindowSize is the number of most recent blocks mined (required unless
+	// WindowRelBSS is set).
+	WindowSize int
+	// BSS optionally restricts the window-independent selection.
+	BSS BSS
+	// WindowRelBSS optionally gives a window-relative selection.
+	WindowRelBSS WindowRelBSS
+	// Tree overrides the CF-tree parameters.
+	Tree cf.TreeConfig
+}
+
+// ClusterWindowMiner maintains a cluster model over the most recent window —
+// GEMM instantiated with BIRCH+.
+type ClusterWindowMiner struct {
+	g    *gemm.GEMM[[]cf.Point, *birch.Plus]
+	snap blockseq.Snapshot
+}
+
+// NewClusterWindowMiner creates a window miner over an empty database.
+func NewClusterWindowMiner(cfg ClusterWindowMinerConfig) (*ClusterWindowMiner, error) {
+	tree := cfg.Tree
+	if tree == (cf.TreeConfig{}) {
+		tree = cf.DefaultTreeConfig()
+	}
+	bcfg := birch.Config{Tree: tree, K: cfg.K}
+	if _, err := birch.NewPlus(bcfg); err != nil {
+		return nil, err // validate once, so the adapter's Empty cannot fail
+	}
+	ad := birchAdapter{cfg: bcfg}
+
+	var g *gemm.GEMM[[]cf.Point, *birch.Plus]
+	var err error
+	switch {
+	case cfg.WindowRelBSS.Len() > 0:
+		if cfg.WindowSize != 0 && cfg.WindowSize != cfg.WindowRelBSS.Len() {
+			return nil, fmt.Errorf("demon: window size %d conflicts with window-relative BSS of length %d",
+				cfg.WindowSize, cfg.WindowRelBSS.Len())
+		}
+		g, err = gemm.NewWindowRelative[[]cf.Point, *birch.Plus](ad, cfg.WindowRelBSS)
+	default:
+		if cfg.WindowSize < 1 {
+			return nil, fmt.Errorf("demon: window size %d < 1", cfg.WindowSize)
+		}
+		b := cfg.BSS
+		if b == nil {
+			b = AllBlocks()
+		}
+		g, err = gemm.NewWindowIndependent[[]cf.Point, *birch.Plus](ad, cfg.WindowSize, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterWindowMiner{g: g}, nil
+}
+
+// AddBlock appends the next block of points and updates the collection of
+// models.
+func (m *ClusterWindowMiner) AddBlock(points []Point) error {
+	snap, id := m.snap.Append()
+	if err := m.g.AddBlock(points, id); err != nil {
+		return err
+	}
+	m.snap = snap
+	return nil
+}
+
+// Clusters returns the cluster model of the current window with respect to
+// the BSS.
+func (m *ClusterWindowMiner) Clusters() ([]Cluster, error) {
+	model, err := m.g.Current().Clusters()
+	if err != nil {
+		return nil, err
+	}
+	return toClusters(model), nil
+}
+
+// Window returns the current most recent window.
+func (m *ClusterWindowMiner) Window() Window { return m.g.Window() }
+
+// T returns the identifier of the latest ingested block.
+func (m *ClusterWindowMiner) T() BlockID { return m.snap.T }

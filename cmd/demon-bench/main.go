@@ -1,0 +1,194 @@
+// Command demon-bench regenerates the tables and figures of the DEMON
+// paper's evaluation (Section 5) plus the repository's ablations.
+//
+// Usage:
+//
+//	demon-bench -exp all -scale 0.1
+//	demon-bench -exp fig2,fig8 -scale 1.0 -seed 7
+//
+// Experiments: fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
+// gemm (GEMM vs AuM), ecutplus (pair-budget sweep), kappa (threshold
+// change), fup (FUP vs BORDERS), granularity (automatic block-granularity
+// selection). Dataset sizes scale with -scale; 1.0 reproduces the paper's
+// sizes, the default 0.1 runs on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/demon-mining/demon/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments (fig2..fig10, gemm, ecutplus, kappa) or 'all'")
+	scale := flag.Float64("scale", 0.1, "dataset scale factor (1.0 = paper sizes)")
+	seed := flag.Int64("seed", 1, "random seed for data generation")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "gemm", "ecutplus", "kappa", "fup", "granularity", "dbscan"} {
+			selected[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			selected[strings.TrimSpace(e)] = true
+		}
+	}
+
+	if err := run(selected, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(selected map[string]bool, scale float64, seed int64) error {
+	out := os.Stdout
+	ran := 0
+
+	if selected["fig2"] {
+		cfg := bench.DefaultFig2Config(scale)
+		cfg.Seed = seed
+		rows, err := bench.Figure2(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig2(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["fig3"] {
+		cfg := bench.DefaultFig3Config(scale)
+		cfg.Seed = seed
+		rows, err := bench.Figure3(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig3(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	for _, fig := range []int{4, 5, 6, 7} {
+		if !selected[fmt.Sprintf("fig%d", fig)] {
+			continue
+		}
+		cfg, err := bench.DefaultMaintainConfig(fig, scale)
+		if err != nil {
+			return err
+		}
+		cfg.Seed = seed
+		rows, err := bench.Maintain(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteMaintain(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["fig8"] {
+		cfg := bench.DefaultFig8Config(scale)
+		cfg.Seed = seed
+		rows, err := bench.Figure8(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig8(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["fig9"] {
+		cfg := bench.DefaultFig9Config()
+		cfg.Seed = seed
+		res, err := bench.Figure9(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig9(out, res)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["fig10"] {
+		cfg := bench.DefaultFig10Config()
+		cfg.Seed = seed
+		rows, err := bench.Figure10(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig10(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["gemm"] {
+		cfg := bench.DefaultGemmVsAuMConfig(scale)
+		cfg.Seed = seed
+		rows, err := bench.GemmVsAuM(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteGemmVsAuM(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["ecutplus"] {
+		cfg := bench.DefaultBudgetConfig(scale)
+		cfg.Seed = seed
+		rows, err := bench.ECUTPlusBudget(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteBudget(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["kappa"] {
+		cfg := bench.DefaultKappaConfig(scale)
+		cfg.Seed = seed
+		rows, err := bench.KappaChange(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteKappa(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["fup"] {
+		cfg := bench.DefaultFupConfig(scale)
+		cfg.Seed = seed
+		rows, err := bench.FupVsBorders(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteFupVsBorders(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["granularity"] {
+		cfg := bench.DefaultGranularityConfig()
+		cfg.Seed = seed
+		rows, err := bench.Granularity(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteGranularity(out, rows)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if selected["dbscan"] {
+		cfg := bench.DefaultDBSCANCostConfig()
+		cfg.Seed = seed
+		row, err := bench.DBSCANCost(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteDBSCANCost(out, row)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment selected; see -exp")
+	}
+	return nil
+}

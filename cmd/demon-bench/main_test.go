@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run(map[string]bool{"fig3": true}, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoSelection(t *testing.T) {
+	if err := run(map[string]bool{}, 0.02, 1); err == nil {
+		t.Fatal("accepted empty selection")
+	}
+	if err := run(map[string]bool{"bogus": true}, 0.02, 1); err == nil {
+		t.Fatal("accepted unknown experiment name")
+	}
+}

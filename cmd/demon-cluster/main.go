@@ -1,0 +1,87 @@
+// Command demon-cluster maintains a cluster model over a systematically
+// evolving database of points with BIRCH+, feeding block files in order.
+//
+// Usage:
+//
+//	demon-cluster -k 5 data/block-*.txt
+//	demon-cluster -k 5 -window 3 data/block-*.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	demon "github.com/demon-mining/demon"
+	"github.com/demon-mining/demon/internal/textio"
+)
+
+func main() {
+	k := flag.Int("k", 4, "number of clusters K")
+	window := flag.Int("window", 0, "most recent window size w (0 = unrestricted window)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "demon-cluster: no block files given")
+		os.Exit(2)
+	}
+	if err := run(*k, *window, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(k, window int, files []string) error {
+	var addBlock func(pts []demon.Point) error
+	var clusters func() ([]demon.Cluster, error)
+
+	if window > 0 {
+		m, err := demon.NewClusterWindowMiner(demon.ClusterWindowMinerConfig{K: k, WindowSize: window})
+		if err != nil {
+			return err
+		}
+		addBlock = func(pts []demon.Point) error {
+			if err := m.AddBlock(pts); err != nil {
+				return err
+			}
+			fmt.Printf("block %d: window %v\n", m.T(), m.Window())
+			return nil
+		}
+		clusters = m.Clusters
+	} else {
+		m, err := demon.NewClusterMiner(demon.ClusterMinerConfig{K: k})
+		if err != nil {
+			return err
+		}
+		addBlock = func(pts []demon.Point) error {
+			d, err := m.AddBlock(pts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("block %d: absorbed %d points in %v (%d sub-clusters resident)\n",
+				m.T(), len(pts), d.Round(100), m.NumSubClusters())
+			return nil
+		}
+		clusters = m.Clusters
+	}
+
+	for _, path := range files {
+		pts, err := textio.ReadPointsFile(path)
+		if err != nil {
+			return err
+		}
+		if err := addBlock(pts); err != nil {
+			return err
+		}
+	}
+
+	cs, err := clusters()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d clusters:\n", len(cs))
+	for i, c := range cs {
+		fmt.Printf("  #%d: n=%d radius=%.3f centroid=%.3v\n", i, c.N, c.Radius, c.Centroid)
+	}
+	return nil
+}

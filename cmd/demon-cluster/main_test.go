@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writePointBlocks(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	var paths []string
+	for b := 0; b < 2; b++ {
+		p := filepath.Join(dir, fmt.Sprintf("block-%d.txt", b))
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			cx := float64((i % 2) * 20)
+			fmt.Fprintf(f, "%f %f\n", cx+rng.NormFloat64(), rng.NormFloat64())
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+func TestRunUnrestricted(t *testing.T) {
+	paths := writePointBlocks(t)
+	if err := run(2, 0, paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWindowed(t *testing.T) {
+	paths := writePointBlocks(t)
+	if err := run(2, 1, paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	paths := writePointBlocks(t)
+	if err := run(0, 0, paths); err == nil {
+		t.Error("accepted k = 0")
+	}
+	if err := run(2, 0, []string{"/nonexistent"}); err == nil {
+		t.Error("accepted missing file")
+	}
+}

@@ -1,0 +1,162 @@
+// Command demon-datagen generates the synthetic datasets of the DEMON
+// experiments as plain-text block files.
+//
+// Usage:
+//
+//	demon-datagen -kind tx -spec 2M.20L.1I.4pats.4plen -blocks 4 -blocksize 50000 -dir data/
+//	demon-datagen -kind points -spec 1M.50c.5d -blocks 2 -blocksize 100000 -dir data/
+//	demon-datagen -kind proxy -granularity 6 -dir data/
+//
+// Transaction blocks are written as block-NNN.txt with one transaction per
+// line (space-separated item ids). Point blocks are written as block-NNN.txt
+// with one point per line (space-separated coordinates). Proxy blocks are
+// the simulated DEC trace segmented at the given granularity.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/pointgen"
+	"github.com/demon-mining/demon/internal/proxysim"
+	"github.com/demon-mining/demon/internal/quest"
+)
+
+func main() {
+	kind := flag.String("kind", "tx", "dataset kind: tx, points, or proxy")
+	spec := flag.String("spec", "2M.20L.1I.4pats.4plen", "dataset spec (quest or pointgen notation)")
+	blocks := flag.Int("blocks", 4, "number of blocks to generate (tx/points)")
+	blockSize := flag.Int("blocksize", 50000, "records per block (tx/points)")
+	granularity := flag.Int("granularity", 6, "block granularity in hours (proxy)")
+	rate := flag.Int("rate", 400, "base requests per hour (proxy)")
+	seed := flag.Int64("seed", 1, "random seed")
+	dir := flag.String("dir", "data", "output directory")
+	flag.Parse()
+
+	if err := run(*kind, *spec, *blocks, *blockSize, *granularity, *rate, *seed, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, spec string, blocks, blockSize, granularity, rate int, seed int64, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	switch kind {
+	case "tx":
+		cfg, err := quest.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		cfg.Seed = seed
+		gen, err := quest.New(cfg)
+		if err != nil {
+			return err
+		}
+		for i := 1; i <= blocks; i++ {
+			blk := gen.Block(blockseq.ID(i), blockSize)
+			if err := writeTxBlock(dir, i, blk); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d transaction blocks of %d to %s\n", blocks, blockSize, dir)
+	case "points":
+		cfg, err := pointgen.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		cfg.Seed = seed
+		cfg.Noise = 0.02
+		gen, err := pointgen.New(cfg)
+		if err != nil {
+			return err
+		}
+		for i := 1; i <= blocks; i++ {
+			blk := gen.Block(blockseq.ID(i), blockSize)
+			path := filepath.Join(dir, fmt.Sprintf("block-%03d.txt", i))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			w := bufio.NewWriter(f)
+			for _, p := range blk.Points {
+				for d, x := range p {
+					if d > 0 {
+						fmt.Fprint(w, " ")
+					}
+					fmt.Fprint(w, strconv.FormatFloat(x, 'g', -1, 64))
+				}
+				fmt.Fprintln(w)
+			}
+			if err := w.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d point blocks of %d to %s\n", blocks, blockSize, dir)
+	case "proxy":
+		trace := proxysim.Generate(proxysim.Config{Seed: seed, RequestsPerHour: rate})
+		txBlocks, infos, err := trace.Segment(granularity)
+		if err != nil {
+			return err
+		}
+		for i, blk := range txBlocks {
+			if err := writeTxBlock(dir, i+1, blk); err != nil {
+				return err
+			}
+		}
+		meta, err := os.Create(filepath.Join(dir, "blocks.tsv"))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(meta)
+		fmt.Fprintln(w, "block\tperiod\tkind")
+		for i, info := range infos {
+			fmt.Fprintf(w, "%d\t%s\t%s\n", i+1, info.Label(), info.Kind)
+		}
+		if err := w.Flush(); err != nil {
+			meta.Close()
+			return err
+		}
+		if err := meta.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d proxy blocks (%dh granularity) to %s\n", len(txBlocks), granularity, dir)
+	default:
+		return fmt.Errorf("unknown kind %q (want tx, points, or proxy)", kind)
+	}
+	return nil
+}
+
+func writeTxBlock(dir string, n int, blk *itemset.TxBlock) error {
+	path := filepath.Join(dir, fmt.Sprintf("block-%03d.txt", n))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, tx := range blk.Txs {
+		for i, it := range tx.Items {
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprint(w, int(it))
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

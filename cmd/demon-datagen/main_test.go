@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTx(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("tx", "2M.20L.1I.4pats.4plen", 2, 100, 0, 0, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"block-001.txt", "block-002.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != 100 {
+			t.Fatalf("%s has %d lines, want 100", name, len(lines))
+		}
+	}
+}
+
+func TestRunPoints(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("points", "1M.3c.2d", 1, 50, 0, 0, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "block-001.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 50 {
+		t.Fatalf("%d lines, want 50", len(lines))
+	}
+	if got := len(strings.Fields(lines[0])); got != 2 {
+		t.Fatalf("point has %d coordinates, want 2", got)
+	}
+}
+
+func TestRunProxy(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("proxy", "", 0, 0, 24, 20, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 21 blocks + blocks.tsv.
+	if len(entries) != 22 {
+		t.Fatalf("%d files, want 22", len(entries))
+	}
+	meta, err := os.ReadFile(filepath.Join(dir, "blocks.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(meta), "anomalous") {
+		t.Fatal("blocks.tsv does not mark the anomalous day")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("nope", "", 0, 0, 0, 0, 1, dir); err == nil {
+		t.Error("accepted unknown kind")
+	}
+	if err := run("tx", "garbage", 1, 10, 0, 0, 1, dir); err == nil {
+		t.Error("accepted bad tx spec")
+	}
+	if err := run("points", "garbage", 1, 10, 0, 0, 1, dir); err == nil {
+		t.Error("accepted bad point spec")
+	}
+	if err := run("proxy", "", 0, 0, 0, 10, 1, dir); err == nil {
+		t.Error("accepted zero granularity")
+	}
+}

@@ -1,0 +1,175 @@
+// Command demon-miner maintains the set of frequent itemsets over a
+// systematically evolving transactional database, feeding block files in
+// order to the DEMON maintenance algorithms.
+//
+// Usage:
+//
+//	demon-miner -minsup 0.01 -strategy ecut data/block-*.txt
+//	demon-miner -minsup 0.01 -window 4 -bss 1010 data/block-*.txt
+//	demon-miner -minsup 0.01 -every 7 -offset 1 data/block-*.txt
+//
+// Without -window the unrestricted window option is used; -every/-offset
+// give a periodic window-independent BSS ("every 7th block starting at 1").
+// With -window w the most recent window option is used; -bss optionally
+// gives a window-relative bit string of length w. After each block the tool
+// prints a maintenance report, and at the end the frequent itemsets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	demon "github.com/demon-mining/demon"
+	"github.com/demon-mining/demon/internal/textio"
+)
+
+func main() {
+	minsup := flag.Float64("minsup", 0.01, "minimum support κ in (0,1)")
+	strategy := flag.String("strategy", "ptscan", "counting strategy: ptscan, hashtree, ecut, ecutplus")
+	window := flag.Int("window", 0, "most recent window size w (0 = unrestricted window)")
+	bss := flag.String("bss", "", "window-relative BSS bit string of length w (requires -window)")
+	every := flag.Int("every", 0, "periodic window-independent BSS: select every Nth block")
+	offset := flag.Int("offset", 1, "offset of the periodic BSS")
+	top := flag.Int("top", 20, "how many frequent itemsets to print")
+	minconf := flag.Float64("rules", 0, "also print association rules at this minimum confidence (0 = off)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "demon-miner: no block files given")
+		os.Exit(2)
+	}
+	if err := run(*minsup, *strategy, *window, *bss, *every, *offset, *top, *minconf, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-miner:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStrategy(s string) (demon.CountingStrategy, error) {
+	switch s {
+	case "ptscan":
+		return demon.PTScan, nil
+	case "hashtree":
+		return demon.HashTree, nil
+	case "ecut":
+		return demon.ECUT, nil
+	case "ecutplus":
+		return demon.ECUTPlus, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func run(minsup float64, strategyName string, window int, bssStr string, every, offset, top int, minconf float64, files []string) error {
+	strategy, err := parseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	var indep demon.BSS
+	if every > 0 {
+		indep = demon.EveryNth(every, offset)
+	}
+
+	var addBlock func(rows [][]demon.Item) error
+	var frequents func() []demon.ItemsetSupport
+	var rules func(float64) ([]demon.Rule, error)
+
+	if window > 0 {
+		cfg := demon.ItemsetWindowMinerConfig{
+			MinSupport: minsup,
+			Strategy:   strategy,
+			WindowSize: window,
+			BSS:        indep,
+		}
+		if bssStr != "" {
+			rel, err := demon.ParseWindowRelBSS(bssStr)
+			if err != nil {
+				return err
+			}
+			if rel.Len() != window {
+				return fmt.Errorf("-bss length %d != -window %d", rel.Len(), window)
+			}
+			cfg.WindowRelBSS = rel
+			cfg.WindowSize = 0
+		}
+		m, err := demon.NewItemsetWindowMiner(cfg)
+		if err != nil {
+			return err
+		}
+		addBlock = func(rows [][]demon.Item) error {
+			rep, err := m.AddBlock(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("block %d: window %v, response %v, |L| = %d\n",
+				rep.Block, m.Window(), rep.Response.Round(100), len(m.Current().Frequent))
+			return nil
+		}
+		frequents = m.FrequentItemsets
+		rules = m.Rules
+	} else {
+		if bssStr != "" {
+			return fmt.Errorf("-bss requires -window")
+		}
+		m, err := demon.NewItemsetMiner(demon.ItemsetMinerConfig{
+			MinSupport: minsup,
+			Strategy:   strategy,
+			BSS:        indep,
+		})
+		if err != nil {
+			return err
+		}
+		addBlock = func(rows [][]demon.Item) error {
+			rep, err := m.AddBlock(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("block %d: selected=%v detection=%v update=%v promoted=%d demoted=%d candidates=%d |L|=%d\n",
+				rep.Block, rep.Selected, rep.Detection.Round(100), rep.Update.Round(100),
+				rep.Promoted, rep.Demoted, rep.CandidatesCounted, len(m.Lattice().Frequent))
+			return nil
+		}
+		frequents = m.FrequentItemsets
+		rules = m.Rules
+	}
+
+	for _, path := range files {
+		rows, err := textio.ReadTransactionsFile(path)
+		if err != nil {
+			return err
+		}
+		if err := addBlock(rows); err != nil {
+			return err
+		}
+	}
+
+	fi := frequents()
+	fmt.Printf("\n%d frequent itemsets at κ=%v; top %d by support:\n", len(fi), minsup, top)
+	// Selection-sort the top entries by support.
+	for i := 0; i < len(fi) && i < top; i++ {
+		best := i
+		for j := i + 1; j < len(fi); j++ {
+			if fi[j].Support > fi[best].Support {
+				best = j
+			}
+		}
+		fi[i], fi[best] = fi[best], fi[i]
+		fmt.Printf("  %-24s support %.4f (count %d)\n", fi[i].Itemset, fi[i].Support, fi[i].Count)
+	}
+
+	if minconf > 0 {
+		rs, err := rules(minconf)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%d association rules at confidence >= %v:\n", len(rs), minconf)
+		for i, r := range rs {
+			if i == top {
+				fmt.Printf("  ... and %d more\n", len(rs)-top)
+				break
+			}
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	return nil
+}

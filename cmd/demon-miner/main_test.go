@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBlocks(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	blocks := []string{
+		"1 2 3\n1 2\n4 5\n1 2 3\n",
+		"1 2\n1 2 3\n6\n1 2\n",
+		"7 8\n7 8\n7 8\n9\n",
+	}
+	var paths []string
+	for i, content := range blocks {
+		p := filepath.Join(dir, "block-"+string(rune('a'+i))+".txt")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+func TestRunUnrestrictedWindow(t *testing.T) {
+	paths := writeBlocks(t)
+	for _, strategy := range []string{"ptscan", "hashtree", "ecut", "ecutplus"} {
+		if err := run(0.2, strategy, 0, "", 0, 1, 5, 0, paths); err != nil {
+			t.Fatalf("strategy %s: %v", strategy, err)
+		}
+	}
+}
+
+func TestRunMostRecentWindow(t *testing.T) {
+	paths := writeBlocks(t)
+	if err := run(0.2, "ecut", 2, "", 0, 1, 5, 0.5, paths); err != nil {
+		t.Fatal(err)
+	}
+	// Window-relative BSS.
+	if err := run(0.2, "ptscan", 2, "10", 0, 1, 5, 0, paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPeriodicBSS(t *testing.T) {
+	paths := writeBlocks(t)
+	if err := run(0.2, "ptscan", 0, "", 2, 1, 5, 0.8, paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	paths := writeBlocks(t)
+	if err := run(0.2, "bogus", 0, "", 0, 1, 5, 0, paths); err == nil {
+		t.Error("accepted unknown strategy")
+	}
+	if err := run(0.2, "ptscan", 0, "101", 0, 1, 5, 0, paths); err == nil {
+		t.Error("accepted -bss without -window")
+	}
+	if err := run(0.2, "ptscan", 3, "10", 0, 1, 5, 0, paths); err == nil {
+		t.Error("accepted mismatched -bss length")
+	}
+	if err := run(0.2, "ptscan", 0, "", 0, 1, 5, 0, []string{"/nonexistent/file"}); err == nil {
+		t.Error("accepted missing block file")
+	}
+	if err := run(2.0, "ptscan", 0, "", 0, 1, 5, 0, paths); err == nil {
+		t.Error("accepted κ = 2")
+	}
+}

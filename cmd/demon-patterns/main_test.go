@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeRegimeBlocks produces 4 blocks: two from regime A, two from a
+// disjoint regime B.
+func writeRegimeBlocks(t *testing.T) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	block := func(base, n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "%d %d\n", base, base+1)
+		}
+		return sb.String()
+	}
+	contents := []string{block(0, 200), block(0, 200), block(100, 200), block(100, 200)}
+	var paths []string
+	for i, content := range contents {
+		p := filepath.Join(dir, fmt.Sprintf("block-%d.txt", i+1))
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return dir, paths
+}
+
+func TestRunPatterns(t *testing.T) {
+	_, paths := writeRegimeBlocks(t)
+	if err := run(0.05, 0.01, 0, 0, "", paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPatternsWithLabelsAndCycle(t *testing.T) {
+	dir, paths := writeRegimeBlocks(t)
+	labels := filepath.Join(dir, "labels.tsv")
+	content := "block\tlabel\n1\tmon\n2\ttue\n3\twed\n4\tthu\n"
+	if err := os.WriteFile(labels, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0.05, 0.01, 0, 2, labels, paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPatternsWindowed(t *testing.T) {
+	_, paths := writeRegimeBlocks(t)
+	if err := run(0.05, 0.01, 2, 0, "", paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPatternsErrors(t *testing.T) {
+	_, paths := writeRegimeBlocks(t)
+	if err := run(0, 0.01, 0, 0, "", paths); err == nil {
+		t.Error("accepted κ = 0")
+	}
+	if err := run(0.05, 0, 0, 0, "", paths); err == nil {
+		t.Error("accepted α = 0")
+	}
+	if err := run(0.05, 0.01, 0, 0, "/nonexistent.tsv", paths); err == nil {
+		t.Error("accepted missing labels file")
+	}
+	if err := run(0.05, 0.01, 0, 0, "", []string{"/nonexistent"}); err == nil {
+		t.Error("accepted missing block file")
+	}
+}
+
+func TestLoadLabels(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "l.tsv")
+	if err := os.WriteFile(p, []byte("block\tlabel\n3\thello world\nbad line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := loadLabels(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[3] != "hello world" || len(labels) != 1 {
+		t.Fatalf("labels = %v", labels)
+	}
+}

@@ -1,0 +1,147 @@
+// Package demon is a from-scratch Go implementation of DEMON — Data
+// Evolution and MONitoring (Ganti, Gehrke, Ramakrishnan, ICDE 2000) — a
+// framework for mining systematically evolving data: databases that grow by
+// whole blocks at a time (a data warehouse loaded nightly, a log rotated
+// hourly) rather than by arbitrary record updates.
+//
+// The package offers the paper's complete problem space:
+//
+//   - Data span dimension. Mine all data collected so far (the unrestricted
+//     window) with ItemsetMiner and ClusterMiner, or only the w most recent
+//     blocks (the most recent window) with ItemsetWindowMiner and
+//     ClusterWindowMiner, which are instances of the generic GEMM algorithm.
+//
+//   - Block selection sequences. Restrict either window to a sub-sequence of
+//     blocks — "every Monday", "alternate days in the last four weeks" —
+//     with window-independent or window-relative bit sequences.
+//
+//   - Model maintenance. Frequent itemsets are maintained by the BORDERS
+//     algorithm with a pluggable update-phase counting strategy: PTScan (the
+//     baseline full scan), ECUT (item TID-lists) or ECUTPlus (materialized
+//     2-itemset TID-lists). Clusters are maintained by BIRCH+, the
+//     incremental extension of BIRCH.
+//
+//   - Pattern detection. Monitor discovers compact sequences of pairwise
+//     similar blocks using the FOCUS deviation framework, e.g. "weekday
+//     traffic looks alike, except Labor Day and one anomalous Monday";
+//     ClusterMonitor and ClassifierMonitor do the same through cluster and
+//     decision-tree models, and CompareTransactionBlocks explains how two
+//     blocks differ.
+//
+//   - Derived results and operations. Rules turns a maintained model into
+//     association rules; Checkpoint/Restore persist miner state through the
+//     Store; ClassifierWindowMiner trains decision trees over sliding
+//     windows.
+//
+// All state lives behind a Store (in-memory or file-backed); every
+// maintainer is deterministic given its inputs. Individual miners are not
+// safe for concurrent use; the Workers options parallelize internally
+// instead.
+package demon
+
+import (
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/cf"
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// Item is a literal from the item universe of a transactional database.
+type Item = itemset.Item
+
+// Itemset is a canonical (sorted, duplicate-free) set of items. Build one
+// with NewItemset.
+type Itemset = itemset.Itemset
+
+// NewItemset builds a canonical itemset from items in any order.
+func NewItemset(items ...Item) Itemset { return itemset.NewItemset(items...) }
+
+// Lattice is a frequent-itemset model: the frequent itemsets and the
+// negative border, with support counts.
+type Lattice = itemset.Lattice
+
+// BlockID identifies a block; identifiers increase in arrival order.
+type BlockID = blockseq.ID
+
+// Window is an inclusive range of block identifiers D[Lo, Hi].
+type Window = blockseq.Window
+
+// BSS is a window-independent block selection sequence: one bit per absolute
+// block identifier.
+type BSS = blockseq.BSS
+
+// WindowRelBSS is a window-relative block selection sequence: one bit per
+// window position, moving with the window.
+type WindowRelBSS = blockseq.WindowRelBSS
+
+// AllBlocks returns the BSS selecting every block (the classic maintenance
+// setting).
+func AllBlocks() BSS { return blockseq.All{} }
+
+// EveryNth returns the BSS selecting blocks with id ≡ offset (mod period) —
+// "every Monday" when blocks are daily and block `offset` is a Monday.
+func EveryNth(period, offset int) BSS { return blockseq.Periodic{Period: period, Offset: offset} }
+
+// BSSFunc adapts a predicate over block identifiers to a BSS.
+func BSSFunc(f func(BlockID) bool) BSS { return blockseq.Func(f) }
+
+// ParseWindowRelBSS parses a window-relative sequence from a "10110"-style
+// bit string; bit 1 is the oldest position of the window.
+func ParseWindowRelBSS(s string) (WindowRelBSS, error) { return blockseq.ParseWindowRel(s) }
+
+// Point is an n-dimensional point for the clustering miners.
+type Point = cf.Point
+
+// Store is the persistence interface blocks and TID-lists are stored
+// through; see NewMemStore and NewFileStore.
+type Store = diskio.Store
+
+// NewMemStore returns an in-memory Store with I/O accounting — the right
+// choice for tests and experiments.
+func NewMemStore() Store { return diskio.NewMemStore() }
+
+// NewFileStore returns a Store writing one file per object under dir.
+func NewFileStore(dir string) (Store, error) { return diskio.NewFileStore(dir) }
+
+// StoreStats is the I/O counter snapshot of a Store.
+type StoreStats = diskio.Stats
+
+// ItemsetSupport pairs an itemset with its fractional support.
+type ItemsetSupport struct {
+	Itemset Itemset
+	Support float64
+	Count   int
+}
+
+// CountingStrategy selects the BORDERS update-phase counting procedure.
+type CountingStrategy int
+
+const (
+	// PTScan organizes candidates in a prefix tree and scans every
+	// transaction of the selected blocks — the BORDERS baseline.
+	PTScan CountingStrategy = iota
+	// HashTree is PTScan with the hash-tree structure of Agrawal et al.
+	HashTree
+	// ECUT intersects per-block item TID-lists, fetching only the data
+	// relevant to the counted itemsets.
+	ECUT
+	// ECUTPlus additionally materializes TID-lists of frequent 2-itemsets
+	// per block and counts through them.
+	ECUTPlus
+)
+
+// String names the strategy as the paper does.
+func (s CountingStrategy) String() string {
+	switch s {
+	case PTScan:
+		return "PT-Scan"
+	case HashTree:
+		return "HT-Scan"
+	case ECUT:
+		return "ECUT"
+	case ECUTPlus:
+		return "ECUT+"
+	default:
+		return "unknown"
+	}
+}

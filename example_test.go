@@ -1,0 +1,171 @@
+package demon_test
+
+import (
+	"fmt"
+	"log"
+
+	demon "github.com/demon-mining/demon"
+)
+
+// ExampleItemsetMiner maintains frequent itemsets over the unrestricted
+// window as blocks arrive.
+func ExampleItemsetMiner() {
+	miner, err := demon.NewItemsetMiner(demon.ItemsetMinerConfig{
+		MinSupport: 0.5,
+		Strategy:   demon.ECUT,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Night one: bread+butter dominates.
+	if _, err := miner.AddBlock([][]demon.Item{
+		{1, 2}, {1, 2}, {1, 2, 3}, {3},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Night two: still strong.
+	if _, err := miner.AddBlock([][]demon.Item{
+		{1, 2}, {1, 2, 4}, {4},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, fi := range miner.FrequentItemsets() {
+		fmt.Printf("%v %.2f\n", fi.Itemset, fi.Support)
+	}
+	// Output:
+	// {1} 0.71
+	// {1, 2} 0.71
+	// {2} 0.71
+}
+
+// ExampleItemsetWindowMiner mines only the two most recent blocks: old
+// fashions drop out of the model as the window slides.
+func ExampleItemsetWindowMiner() {
+	miner, err := demon.NewItemsetWindowMiner(demon.ItemsetWindowMinerConfig{
+		MinSupport: 0.5,
+		WindowSize: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fad := [][]demon.Item{{7, 8}, {7, 8}, {7, 8}}
+	staple := [][]demon.Item{{1, 2}, {1, 2}, {1, 2}}
+	for _, block := range [][][]demon.Item{fad, staple, staple} {
+		if _, err := miner.AddBlock(block); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("window:", miner.Window())
+	for _, fi := range miner.FrequentItemsets() {
+		fmt.Printf("%v %.2f\n", fi.Itemset, fi.Support)
+	}
+	// Output:
+	// window: D[2, 3]
+	// {1} 1.00
+	// {1, 2} 1.00
+	// {2} 1.00
+}
+
+// ExampleMonitor detects which blocks look alike: the third block follows a
+// different regime and forms its own pattern.
+func ExampleMonitor() {
+	monitor, err := demon.NewMonitor(demon.MonitorConfig{MinSupport: 0.1, Alpha: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	regimeA := make([][]demon.Item, 200)
+	regimeB := make([][]demon.Item, 200)
+	for i := range regimeA {
+		regimeA[i] = []demon.Item{1, 2}
+		regimeB[i] = []demon.Item{8, 9}
+	}
+	for _, block := range [][][]demon.Item{regimeA, regimeA, regimeB} {
+		if _, err := monitor.AddBlock(block); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, pattern := range monitor.Patterns() {
+		fmt.Println(pattern)
+	}
+	// Output:
+	// [1 2]
+	// [3]
+}
+
+// ExampleEveryNth restricts mining to a periodic selection of blocks — here
+// "every second block".
+func ExampleEveryNth() {
+	miner, err := demon.NewItemsetMiner(demon.ItemsetMinerConfig{
+		MinSupport: 0.5,
+		BSS:        demon.EveryNth(2, 1), // blocks 1, 3, 5, ...
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	odd := [][]demon.Item{{1}, {1}}
+	even := [][]demon.Item{{2}, {2}}
+	for _, block := range [][][]demon.Item{odd, even, odd} {
+		if _, err := miner.AddBlock(block); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Item 2 was only in the skipped block 2.
+	for _, fi := range miner.FrequentItemsets() {
+		fmt.Printf("%v %.2f\n", fi.Itemset, fi.Support)
+	}
+	// Output:
+	// {1} 1.00
+}
+
+// ExampleCompareTransactionBlocks quantifies how different two blocks are
+// and which itemsets explain the gap.
+func ExampleCompareTransactionBlocks() {
+	a := make([][]demon.Item, 100)
+	b := make([][]demon.Item, 100)
+	for i := range a {
+		a[i] = []demon.Item{1, 2}
+		b[i] = []demon.Item{1, 9}
+	}
+	cmp, err := demon.CompareTransactionBlocks(a, b, 0.1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same process plausible: %v\n", cmp.PValue >= 0.01)
+	d := cmp.TopDifferences[0]
+	fmt.Printf("biggest gap: %v (%.2f vs %.2f)\n", d.Itemset, d.SupportA, d.SupportB)
+	// Output:
+	// same process plausible: false
+	// biggest gap: {1, 2} (1.00 vs 0.00)
+}
+
+// ExampleItemsetMiner_rules derives association rules from the maintained
+// model.
+func ExampleItemsetMiner_rules() {
+	miner, err := demon.NewItemsetMiner(demon.ItemsetMinerConfig{MinSupport: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	block := [][]demon.Item{
+		{1, 2}, {1, 2}, {1, 2}, {1, 2}, {1},
+		{3}, {3}, {3}, {3}, {3},
+	}
+	if _, err := miner.AddBlock(block); err != nil {
+		log.Fatal(err)
+	}
+	rules, err := miner.Rules(0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rules {
+		fmt.Println(r)
+	}
+	// Output:
+	// {2} => {1} (sup 0.400, conf 1.000, lift 2.00)
+	// {1} => {2} (sup 0.400, conf 0.800, lift 2.00)
+}

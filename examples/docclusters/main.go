@@ -1,0 +1,82 @@
+// Docclusters: the document-clustering scenario from Section 2.2 of the
+// paper.
+//
+// A document database receives occasional new blocks; each document is
+// embedded as a low-dimensional point (here: fabricated topic mixtures) and
+// the application wants the clustering of the ENTIRE collection kept up to
+// date — the unrestricted window option. BIRCH+ keeps the sub-cluster
+// summary resident, so each new block costs a single scan of that block
+// only, and new documents can be routed to their concept immediately.
+//
+// Run with: go run ./examples/docclusters
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	demon "github.com/demon-mining/demon"
+)
+
+// Three latent "concepts" with characteristic topic mixtures.
+var concepts = []demon.Point{
+	{0.9, 0.1, 0.0}, // sports
+	{0.1, 0.8, 0.1}, // finance
+	{0.0, 0.2, 0.8}, // science
+}
+
+func main() {
+	miner, err := demon.NewClusterMiner(demon.ClusterMinerConfig{K: len(concepts)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for batch := 1; batch <= 4; batch++ {
+		block := documents(rng, 500)
+		d, err := miner.AddBlock(block)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d: absorbed 500 documents in %v (%d sub-clusters resident)\n",
+			batch, d.Round(1000), miner.NumSubClusters())
+	}
+
+	clusters, err := miner.Clusters()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndocument clusters over the whole collection:")
+	for i, c := range clusters {
+		fmt.Printf("  cluster %d: %d documents, centroid %.2v\n", i, c.N, c.Centroid)
+	}
+
+	// Route new, unclassified documents to their concepts.
+	fresh := []demon.Point{
+		{0.85, 0.12, 0.03},
+		{0.05, 0.15, 0.80},
+	}
+	labels, err := miner.Assign(fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrouting new documents:")
+	for i, p := range fresh {
+		fmt.Printf("  %v -> cluster %d\n", p, labels[i])
+	}
+}
+
+// documents draws topic mixtures around the concepts.
+func documents(rng *rand.Rand, n int) []demon.Point {
+	pts := make([]demon.Point, n)
+	for i := range pts {
+		c := concepts[rng.Intn(len(concepts))]
+		p := make(demon.Point, len(c))
+		for d := range p {
+			p[d] = c[d] + rng.NormFloat64()*0.05
+		}
+		pts[i] = p
+	}
+	return pts
+}

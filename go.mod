@@ -1,0 +1,3 @@
+module github.com/demon-mining/demon
+
+go 1.22

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Fig2Config parameterizes Experiment 1 (Figure 2): counting time versus the
+// number of itemsets |S| for ECUT, ECUT+ and PT-Scan.
+type Fig2Config struct {
+	// Scale multiplies the paper's dataset sizes (default 0.1).
+	Scale float64
+	// Datasets are the quest specs; the paper uses the 2M and 4M variants
+	// of *.20L.1I.4pats.4plen.
+	Datasets []string
+	// Sizes are the |S| values swept; the paper uses 5..180.
+	Sizes []int
+	// MinSupport is the mining threshold (paper: 0.01).
+	MinSupport float64
+	// Seed fixes data generation and border sampling.
+	Seed int64
+}
+
+// DefaultFig2Config returns the paper's parameters at the given scale.
+func DefaultFig2Config(scale float64) Fig2Config {
+	return Fig2Config{
+		Scale:      scale,
+		Datasets:   []string{"2M.20L.1I.4pats.4plen", "4M.20L.1I.4pats.4plen"},
+		Sizes:      []int{5, 10, 20, 40, 75, 120, 180},
+		MinSupport: 0.01,
+		Seed:       1,
+	}
+}
+
+// Fig2Row is one measured point of Figure 2.
+type Fig2Row struct {
+	Dataset  string
+	NumSets  int
+	PTScan   time.Duration
+	ECUT     time.Duration
+	ECUTPlus time.Duration
+}
+
+// Figure2 runs Experiment 1 and returns one row per (dataset, |S|) pair.
+func Figure2(cfg Fig2Config) ([]Fig2Row, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.1
+	}
+	var rows []Fig2Row
+	for _, spec := range cfg.Datasets {
+		env, err := NewCountEnv(spec, cfg.Scale, cfg.MinSupport, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: figure 2 setup for %s: %w", spec, err)
+		}
+		for _, n := range cfg.Sizes {
+			sets := env.CandidateSet(n)
+			if len(sets) == 0 {
+				return nil, fmt.Errorf("bench: figure 2: dataset %s has an empty negative border", spec)
+			}
+			row := Fig2Row{Dataset: spec, NumSets: len(sets)}
+			for _, c := range env.Counters() {
+				start := time.Now()
+				if _, err := c.Count(sets, env.BlockIDs); err != nil {
+					return nil, fmt.Errorf("bench: figure 2 counting with %s: %w", c.Name(), err)
+				}
+				elapsed := time.Since(start)
+				switch c.Name() {
+				case "PT-Scan":
+					row.PTScan = elapsed
+				case "ECUT":
+					row.ECUT = elapsed
+				case "ECUT+":
+					row.ECUTPlus = elapsed
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteFig2 renders the rows as the Figure 2 series.
+func WriteFig2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintln(w, "Figure 2: counting time vs #itemsets (seconds)")
+	fmt.Fprintf(w, "%-24s %9s %12s %12s %12s\n", "dataset", "|S|", "PT-Scan", "ECUT", "ECUT+")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %9d %12.4f %12.4f %12.4f\n",
+			r.Dataset, r.NumSets, r.PTScan.Seconds(), r.ECUT.Seconds(), r.ECUTPlus.Seconds())
+	}
+}

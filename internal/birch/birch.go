@@ -1,0 +1,334 @@
+// Package birch implements the BIRCH clustering algorithm (ZRL96) on top of
+// the CF-tree of internal/cf, and the DEMON paper's incremental extension
+// BIRCH+ (Section 3.1.2): the set of sub-clusters produced by phase 1 is
+// kept in memory and insertion simply resumes when a new block arrives, so
+// the clusters at any time t equal those of a from-scratch BIRCH run over
+// D[1, t], at a fraction of the cost.
+package birch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/demon-mining/demon/internal/cf"
+)
+
+// Cluster is one output cluster: a cluster feature summarizing its points.
+type Cluster struct {
+	CF cf.CF
+}
+
+// Centroid returns the cluster centroid.
+func (c Cluster) Centroid() cf.Point { return c.CF.Centroid() }
+
+// Model is a cluster model: the K clusters identified in the data, ordered
+// deterministically (by centroid, lexicographically).
+type Model struct {
+	Clusters []Cluster
+	// N is the total number of points the model summarizes.
+	N int
+}
+
+// WSS returns the within-cluster sum of squared distances to the centroids,
+// the distance-based criterion function optimized by the clustering: for one
+// CF it is SS - N·‖centroid‖².
+func (m *Model) WSS() float64 {
+	var total float64
+	for _, c := range m.Clusters {
+		n := float64(c.CF.N)
+		if n == 0 {
+			continue
+		}
+		var norm2 float64
+		for _, x := range c.CF.LS {
+			mean := x / n
+			norm2 += mean * mean
+		}
+		total += c.CF.SS - n*norm2
+	}
+	return total
+}
+
+// Assign returns the index of the cluster whose centroid is nearest to p —
+// the per-point labeling scan described at the end of Section 3.1.2.
+func (m *Model) Assign(p cf.Point) int {
+	best, bestD := -1, math.Inf(1)
+	for i, c := range m.Clusters {
+		if d := cf.Distance(c.Centroid(), p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Phase2 merges sub-clusters into k clusters: greedy agglomerative merging
+// by centroid distance (the "cluster the tennis balls with your favourite
+// algorithm" step), followed by a weighted k-means refinement over the
+// sub-cluster centroids. Sub-clusters are never split, matching BIRCH's
+// tolerance to slight phase-1 misassignments.
+func Phase2(subs []cf.CF, k int) (*Model, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("birch: k = %d < 1", k)
+	}
+	work := make([]cf.CF, 0, len(subs))
+	n := 0
+	for _, s := range subs {
+		if s.N > 0 {
+			work = append(work, s.Clone())
+			n += s.N
+		}
+	}
+	if len(work) == 0 {
+		return &Model{}, nil
+	}
+	if k > len(work) {
+		k = len(work)
+	}
+
+	// Agglomerative phase: repeatedly merge the closest pair of centroids.
+	cents := make([]cf.Point, len(work))
+	for i := range work {
+		cents[i] = work[i].Centroid()
+	}
+	for len(work) > k {
+		bi, bj, bd := 0, 1, math.Inf(1)
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				if d := cf.Distance(cents[i], cents[j]); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		work[bi] = work[bi].Add(work[bj])
+		cents[bi] = work[bi].Centroid()
+		last := len(work) - 1
+		work[bj], cents[bj] = work[last], cents[last]
+		work = work[:last]
+		cents = cents[:last]
+	}
+
+	// Refinement: weighted k-means over the original sub-clusters with the
+	// agglomerative centroids as seeds. Sub-clusters move atomically.
+	seeds := make([]cf.Point, len(work))
+	copy(seeds, cents)
+	return refine(subs, seeds, n), nil
+}
+
+// refine runs weighted k-means over the sub-clusters from the given seeds
+// and materializes the final model. Sub-clusters move atomically, matching
+// BIRCH's tolerance to slight phase-1 misassignments.
+func refine(subs []cf.CF, seeds []cf.Point, n int) *Model {
+	assign := make([]int, len(subs))
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for i, s := range subs {
+			if s.N == 0 {
+				assign[i] = -1
+				continue
+			}
+			c := s.Centroid()
+			best, bestD := 0, math.Inf(1)
+			for j, seed := range seeds {
+				if d := cf.Distance(c, seed); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Recompute seeds as weighted means; empty seeds keep their spot.
+		sums := make([]cf.CF, len(seeds))
+		for i, s := range subs {
+			if assign[i] >= 0 {
+				sums[assign[i]] = sums[assign[i]].Add(s)
+			}
+		}
+		for j := range seeds {
+			if sums[j].N > 0 {
+				seeds[j] = sums[j].Centroid()
+			}
+		}
+	}
+
+	// Materialize the final clusters from the assignment.
+	sums := make([]cf.CF, len(seeds))
+	for i, s := range subs {
+		if assign[i] >= 0 {
+			sums[assign[i]] = sums[assign[i]].Add(s)
+		}
+	}
+	m := &Model{N: n}
+	for _, s := range sums {
+		if s.N > 0 {
+			m.Clusters = append(m.Clusters, Cluster{CF: s})
+		}
+	}
+	sortClusters(m.Clusters)
+	return m
+}
+
+// Phase2KMeans is the alternative phase 2 the paper alludes to ("cluster
+// these tennis balls using one's own favorite clustering algorithm, e.g.,
+// K-Means"): weighted k-means over the sub-clusters with deterministic,
+// seeded k-means++ initialization.
+func Phase2KMeans(subs []cf.CF, k int, seed int64) (*Model, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("birch: k = %d < 1", k)
+	}
+	var nonEmpty []cf.CF
+	n := 0
+	for _, s := range subs {
+		if s.N > 0 {
+			nonEmpty = append(nonEmpty, s)
+			n += s.N
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return &Model{}, nil
+	}
+	if k > len(nonEmpty) {
+		k = len(nonEmpty)
+	}
+
+	// k-means++ seeding over sub-cluster centroids, weighted by mass.
+	rng := rand.New(rand.NewSource(seed))
+	cents := make([]cf.Point, len(nonEmpty))
+	for i, s := range nonEmpty {
+		cents[i] = s.Centroid()
+	}
+	seeds := make([]cf.Point, 0, k)
+	first := weightedPick(rng, nonEmpty, func(i int) float64 { return float64(nonEmpty[i].N) })
+	seeds = append(seeds, cents[first])
+	d2 := make([]float64, len(nonEmpty))
+	for len(seeds) < k {
+		var total float64
+		for i, c := range cents {
+			best := math.Inf(1)
+			for _, s := range seeds {
+				if d := cf.Distance(c, s); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best * float64(nonEmpty[i].N)
+			total += d2[i]
+		}
+		if total == 0 {
+			break // all centroids coincide with seeds
+		}
+		next := weightedPick(rng, nonEmpty, func(i int) float64 { return d2[i] })
+		seeds = append(seeds, cents[next])
+	}
+	return refine(subs, seeds, n), nil
+}
+
+// weightedPick draws an index proportionally to the given weights.
+func weightedPick(rng *rand.Rand, subs []cf.CF, weight func(i int) float64) int {
+	var total float64
+	for i := range subs {
+		total += weight(i)
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i := range subs {
+		acc += weight(i)
+		if u <= acc {
+			return i
+		}
+	}
+	return len(subs) - 1
+}
+
+func sortClusters(cs []Cluster) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i].Centroid(), cs[j].Centroid()
+		for d := range a {
+			if a[d] != b[d] {
+				return a[d] < b[d]
+			}
+		}
+		return false
+	})
+}
+
+// Config parameterizes a BIRCH run.
+type Config struct {
+	// Tree is the CF-tree configuration of phase 1.
+	Tree cf.TreeConfig
+	// K is the user-specified number of clusters for phase 2.
+	K int
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig(k int) Config {
+	return Config{Tree: cf.DefaultTreeConfig(), K: k}
+}
+
+// Run executes non-incremental BIRCH over the given point sets: phase 1
+// builds a fresh CF-tree over all points, phase 2 merges the sub-clusters.
+// This is the baseline that re-clusters the entire database whenever a new
+// block arrives (Figure 8).
+func Run(cfg Config, pointSets ...[]cf.Point) (*Model, error) {
+	tree, err := cf.NewTree(cfg.Tree)
+	if err != nil {
+		return nil, err
+	}
+	for _, pts := range pointSets {
+		for _, p := range pts {
+			if err := tree.Insert(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return Phase2(tree.SubClusters(), cfg.K)
+}
+
+// Plus is BIRCH+: the incrementally maintained clustering model. The CF-tree
+// (equivalently, the set of sub-clusters Ct) stays resident; AddBlock
+// resumes phase 1 on the new block only, and Clusters invokes the cheap
+// phase 2 on demand.
+type Plus struct {
+	cfg  Config
+	tree *cf.Tree
+}
+
+// NewPlus creates an empty BIRCH+ maintainer.
+func NewPlus(cfg Config) (*Plus, error) {
+	tree, err := cf.NewTree(cfg.Tree)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("birch: k = %d < 1", cfg.K)
+	}
+	return &Plus{cfg: cfg, tree: tree}, nil
+}
+
+// AddBlock scans the new block's points into the resident CF-tree — the
+// single scan that gives BIRCH+ its small response time.
+func (p *Plus) AddBlock(pts []cf.Point) error {
+	for _, pt := range pts {
+		if err := p.tree.Insert(pt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clusters runs phase 2 on the current sub-clusters and returns the model
+// on all data added so far.
+func (p *Plus) Clusters() (*Model, error) {
+	return Phase2(p.tree.SubClusters(), p.cfg.K)
+}
+
+// NumPoints returns the number of points absorbed so far.
+func (p *Plus) NumPoints() int { return p.tree.NumPoints() }
+
+// NumSubClusters returns the size of the resident sub-cluster set.
+func (p *Plus) NumSubClusters() int { return p.tree.NumSubClusters() }

@@ -1,0 +1,333 @@
+package birch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/cf"
+	"github.com/demon-mining/demon/internal/diskio"
+)
+
+// gaussianBlobs generates n points around the given centers with unit noise.
+func gaussianBlobs(rng *rand.Rand, centers []cf.Point, n int, sigma float64) []cf.Point {
+	pts := make([]cf.Point, n)
+	for i := range pts {
+		c := centers[i%len(centers)]
+		p := make(cf.Point, len(c))
+		for d := range p {
+			p[d] = c[d] + rng.NormFloat64()*sigma
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// matchCenters checks every model centroid sits within tol of a distinct
+// true center.
+func matchCenters(t *testing.T, m *Model, centers []cf.Point, tol float64) {
+	t.Helper()
+	if len(m.Clusters) != len(centers) {
+		t.Fatalf("found %d clusters, want %d", len(m.Clusters), len(centers))
+	}
+	used := make([]bool, len(centers))
+	for _, c := range m.Clusters {
+		cent := c.Centroid()
+		best, bestD := -1, math.Inf(1)
+		for i, truth := range centers {
+			if used[i] {
+				continue
+			}
+			if d := cf.Distance(cent, truth); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 || bestD > tol {
+			t.Fatalf("centroid %v matches no remaining true center (best %v)", cent, bestD)
+		}
+		used[best] = true
+	}
+}
+
+func TestRunRecoversWellSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	centers := []cf.Point{{0, 0}, {50, 0}, {0, 50}, {50, 50}}
+	pts := gaussianBlobs(rng, centers, 2000, 1.0)
+	m, err := Run(DefaultConfig(4), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchCenters(t, m, centers, 1.0)
+	if m.N != 2000 {
+		t.Fatalf("model N = %d, want 2000", m.N)
+	}
+}
+
+// TestPlusMatchesFromScratch is the Section 3.1.2 claim: at any time t the
+// BIRCH+ clusters equal a from-scratch BIRCH run over D[1, t] — here checked
+// as recovering the same true centers with comparable criterion value.
+func TestPlusMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	centers := []cf.Point{{0, 0, 0}, {40, 0, 0}, {0, 40, 0}}
+	cfg := DefaultConfig(3)
+	plus, err := NewPlus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []cf.Point
+	for step := 0; step < 4; step++ {
+		blk := gaussianBlobs(rng, centers, 600, 1.0)
+		all = append(all, blk...)
+		if err := plus.AddBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+
+		inc, err := plus.Clusters()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err := Run(cfg, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchCenters(t, inc, centers, 1.0)
+		matchCenters(t, scratch, centers, 1.0)
+		if inc.N != scratch.N {
+			t.Fatalf("step %d: N %d vs %d", step, inc.N, scratch.N)
+		}
+		// Criterion values must be within a few percent of each other.
+		wi, ws := inc.WSS(), scratch.WSS()
+		if wi > ws*1.10+1e-9 && wi-ws > 1 {
+			t.Fatalf("step %d: incremental WSS %v much worse than scratch %v", step, wi, ws)
+		}
+	}
+	if plus.NumPoints() != len(all) {
+		t.Fatalf("NumPoints = %d, want %d", plus.NumPoints(), len(all))
+	}
+	if plus.NumSubClusters() == 0 {
+		t.Fatal("no sub-clusters resident")
+	}
+}
+
+func TestPhase2FewerSubsThanK(t *testing.T) {
+	subs := []cf.CF{cf.NewCF(cf.Point{0, 0}), cf.NewCF(cf.Point{9, 9})}
+	m, err := Phase2(subs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(m.Clusters))
+	}
+}
+
+func TestPhase2Empty(t *testing.T) {
+	m, err := Phase2(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Clusters) != 0 || m.N != 0 {
+		t.Fatalf("empty Phase2 = %+v", m)
+	}
+}
+
+func TestPhase2RejectsBadK(t *testing.T) {
+	if _, err := Phase2(nil, 0); err == nil {
+		t.Fatal("Phase2 accepted k = 0")
+	}
+	if _, err := NewPlus(DefaultConfig(0)); err == nil {
+		t.Fatal("NewPlus accepted k = 0")
+	}
+}
+
+func TestModelAssign(t *testing.T) {
+	m := &Model{Clusters: []Cluster{
+		{CF: cf.NewCF(cf.Point{0, 0})},
+		{CF: cf.NewCF(cf.Point{10, 10})},
+	}}
+	if got := m.Assign(cf.Point{1, 1}); got != 0 {
+		t.Fatalf("Assign near origin = %d", got)
+	}
+	if got := m.Assign(cf.Point{9, 9}); got != 1 {
+		t.Fatalf("Assign near (10,10) = %d", got)
+	}
+	empty := &Model{}
+	if got := empty.Assign(cf.Point{0, 0}); got != -1 {
+		t.Fatalf("Assign on empty model = %d, want -1", got)
+	}
+}
+
+func TestWSS(t *testing.T) {
+	// Two points at distance 2 around centroid: WSS = 1² + 1² = 2.
+	c := cf.NewCF(cf.Point{0}).AddPoint(cf.Point{2})
+	m := &Model{Clusters: []Cluster{{CF: c}}, N: 2}
+	if got := m.WSS(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("WSS = %v, want 2", got)
+	}
+	// Splitting the points into singleton clusters zeroes the criterion.
+	m2 := &Model{Clusters: []Cluster{
+		{CF: cf.NewCF(cf.Point{0})},
+		{CF: cf.NewCF(cf.Point{2})},
+	}, N: 2}
+	if got := m2.WSS(); got != 0 {
+		t.Fatalf("singleton WSS = %v, want 0", got)
+	}
+}
+
+func TestPointBlockRoundTrip(t *testing.T) {
+	b := &PointBlock{ID: 7, Points: []cf.Point{{1, 2}, {3.5, -4.25}}}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodePointBlock(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ID != 7 || len(dec.Points) != 2 || dec.Points[1][1] != -4.25 {
+		t.Fatalf("decoded %+v", dec)
+	}
+	// Mixed dimensions must be rejected.
+	bad := &PointBlock{ID: 1, Points: []cf.Point{{1}, {1, 2}}}
+	if _, err := bad.Encode(); err == nil {
+		t.Fatal("Encode accepted mixed dimensions")
+	}
+	if _, err := DecodePointBlock(data[:3]); err == nil {
+		t.Fatal("DecodePointBlock accepted truncated data")
+	}
+}
+
+func TestPointStore(t *testing.T) {
+	s := NewPointStore(diskio.NewMemStore())
+	b := &PointBlock{ID: 2, Points: []cf.Point{{1, 1}}}
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 2 || len(got.Points) != 1 {
+		t.Fatalf("Get = %+v", got)
+	}
+	if _, err := s.Get(9); err == nil {
+		t.Fatal("Get missing block succeeded")
+	}
+}
+
+func TestPhase2Deterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	centers := []cf.Point{{0, 0}, {30, 30}}
+	pts := gaussianBlobs(rng, centers, 500, 1.0)
+	m1, err := Run(DefaultConfig(2), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Run(DefaultConfig(2), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Clusters) != len(m2.Clusters) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range m1.Clusters {
+		a, b := m1.Clusters[i].Centroid(), m2.Clusters[i].Centroid()
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("nondeterministic centroid %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestPhase2KMeansRecoversCenters(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	centers := []cf.Point{{0, 0}, {60, 0}, {0, 60}}
+	pts := gaussianBlobs(rng, centers, 1500, 1.0)
+	tree, err := cf.NewTree(cf.DefaultTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := Phase2KMeans(tree.SubClusters(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchCenters(t, m, centers, 1.0)
+	if m.N != 1500 {
+		t.Fatalf("N = %d", m.N)
+	}
+	// Comparable quality to the agglomerative phase 2.
+	agg, err := Phase2(tree.SubClusters(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WSS() > agg.WSS()*1.2+1e-9 {
+		t.Fatalf("k-means WSS %v much worse than agglomerative %v", m.WSS(), agg.WSS())
+	}
+}
+
+func TestPhase2KMeansDeterministicInSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := gaussianBlobs(rng, []cf.Point{{0, 0}, {30, 30}}, 400, 1.0)
+	tree, err := cf.NewTree(cf.DefaultTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subs := tree.SubClusters()
+	m1, err := Phase2KMeans(subs, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Phase2KMeans(subs, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Clusters) != len(m2.Clusters) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range m1.Clusters {
+		a, b := m1.Clusters[i].Centroid(), m2.Clusters[i].Centroid()
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatal("nondeterministic centroids for equal seeds")
+			}
+		}
+	}
+}
+
+func TestPhase2KMeansEdgeCases(t *testing.T) {
+	if _, err := Phase2KMeans(nil, 0, 1); err == nil {
+		t.Error("accepted k = 0")
+	}
+	m, err := Phase2KMeans(nil, 3, 1)
+	if err != nil || len(m.Clusters) != 0 {
+		t.Errorf("empty input: %v, %v", m, err)
+	}
+	// More clusters requested than sub-clusters available.
+	subs := []cf.CF{cf.NewCF(cf.Point{0}), cf.NewCF(cf.Point{9})}
+	m, err = Phase2KMeans(subs, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(m.Clusters))
+	}
+	// Identical sub-clusters: seeding stops early, one cluster results.
+	same := []cf.CF{cf.NewCF(cf.Point{5}), cf.NewCF(cf.Point{5}), cf.NewCF(cf.Point{5})}
+	m, err = Phase2KMeans(same, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 3 {
+		t.Fatalf("N = %d", m.N)
+	}
+}

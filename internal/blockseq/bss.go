@@ -1,0 +1,195 @@
+package blockseq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BSS is a window-independent block selection sequence: a conceptually
+// infinite sequence of 0/1 bits ⟨b1, b2, ...⟩, one per block identifier
+// (Definition 2.1). A bit of 1 selects the block for mining; 0 leaves it out.
+//
+// Implementations must be deterministic: Bit(i) must always return the same
+// value for the same i.
+type BSS interface {
+	// Bit reports whether block id is selected. id starts at 1.
+	Bit(id ID) bool
+}
+
+// All is the BSS ⟨1 1 1 ...⟩ that selects every block. It is the implicit
+// selection of classic incremental maintenance algorithms.
+type All struct{}
+
+// Bit always reports true.
+func (All) Bit(ID) bool { return true }
+
+// Periodic selects every Period-th block starting at Offset: blocks with
+// id ≡ Offset (mod Period) are selected. It expresses calendar-style
+// selections such as "every Monday" when blocks are daily (Period 7).
+type Periodic struct {
+	// Period is the cycle length; must be positive.
+	Period int
+	// Offset in [1, Period] names the selected position within each cycle.
+	Offset int
+}
+
+// Bit reports whether id falls on the selected position of the cycle.
+func (p Periodic) Bit(id ID) bool {
+	if p.Period <= 0 {
+		panic("blockseq: Periodic.Period must be positive")
+	}
+	off := p.Offset % p.Period
+	return int(id)%p.Period == off%p.Period
+}
+
+// Explicit is a BSS given by an explicit bit prefix; blocks beyond the prefix
+// take the Default value. Bits[0] corresponds to block 1.
+type Explicit struct {
+	Bits    []bool
+	Default bool
+}
+
+// Bit returns the explicit bit for id if present and Default otherwise.
+func (e Explicit) Bit(id ID) bool {
+	i := int(id) - 1
+	if i >= 0 && i < len(e.Bits) {
+		return e.Bits[i]
+	}
+	return e.Default
+}
+
+// Func adapts a plain predicate to a BSS.
+type Func func(id ID) bool
+
+// Bit invokes the predicate.
+func (f Func) Bit(id ID) bool { return f(id) }
+
+// Selected lists, in increasing order, the identifiers within win that the
+// sequence selects.
+func Selected(b BSS, win Window) []ID {
+	var ids []ID
+	for id := win.Lo; id <= win.Hi; id++ {
+		if b.Bit(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Project computes the k-projected sequence b^w_k of Section 3.2.1: a
+// window-relative sequence of length w whose first k bits are zero and whose
+// remaining bits are the window-independent bits of the blocks they align
+// with. base is the identifier of the first block of the current window, so
+// position i (1-based) aligns with block base+i-1.
+//
+// GEMM maintains, for each future window overlapping the current one, a model
+// extracted with respect to the projected sequence of its overlap prefix.
+func Project(b BSS, base ID, w, k int) WindowRelBSS {
+	if k < 0 || k >= w {
+		panic(fmt.Sprintf("blockseq: Project k=%d out of range [0,%d)", k, w))
+	}
+	bits := make([]bool, w)
+	for i := k; i < w; i++ {
+		bits[i] = b.Bit(base + ID(i))
+	}
+	return WindowRelBSS{bits: bits}
+}
+
+// WindowRelBSS is a window-relative block selection sequence ⟨b1, ..., bw⟩:
+// one bit per position of the most recent window, moving with the window
+// (Definition 2.1). The zero value is the empty sequence.
+type WindowRelBSS struct {
+	bits []bool
+}
+
+// NewWindowRel builds a window-relative sequence from explicit bits;
+// bits[0] is the bit of the oldest block in the window.
+func NewWindowRel(bits ...bool) WindowRelBSS {
+	c := make([]bool, len(bits))
+	copy(c, bits)
+	return WindowRelBSS{bits: c}
+}
+
+// ParseWindowRel builds a window-relative sequence from a string of '0' and
+// '1' characters, e.g. "10110". Any other character is an error.
+func ParseWindowRel(s string) (WindowRelBSS, error) {
+	bits := make([]bool, len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+			// already false
+		case '1':
+			bits[i] = true
+		default:
+			return WindowRelBSS{}, fmt.Errorf("blockseq: invalid BSS character %q in %q", c, s)
+		}
+	}
+	return WindowRelBSS{bits: bits}, nil
+}
+
+// Len returns the window size w the sequence is defined for.
+func (b WindowRelBSS) Len() int { return len(b.bits) }
+
+// BitAt reports the bit at 1-based position pos within the window. Positions
+// outside [1, w] report false.
+func (b WindowRelBSS) BitAt(pos int) bool {
+	if pos < 1 || pos > len(b.bits) {
+		return false
+	}
+	return b.bits[pos-1]
+}
+
+// RightShift computes the k-right-shifted sequence of Section 3.2.2: the bits
+// slide forward by k positions, the leftmost k bits become zero, and bits
+// sliding beyond position w are truncated. k must be in [0, w).
+func (b WindowRelBSS) RightShift(k int) WindowRelBSS {
+	w := len(b.bits)
+	if k < 0 || k >= w {
+		panic(fmt.Sprintf("blockseq: RightShift k=%d out of range [0,%d)", k, w))
+	}
+	bits := make([]bool, w)
+	for i := k; i < w; i++ {
+		bits[i] = b.bits[i-k]
+	}
+	return WindowRelBSS{bits: bits}
+}
+
+// SelectedIn lists the identifiers selected when the sequence is aligned with
+// win; position 1 aligns with win.Lo. win.Len() may differ from Len(): excess
+// positions on either side select nothing.
+func (b WindowRelBSS) SelectedIn(win Window) []ID {
+	var ids []ID
+	for pos := 1; pos <= win.Len() && pos <= len(b.bits); pos++ {
+		if b.bits[pos-1] {
+			ids = append(ids, win.Lo+ID(pos-1))
+		}
+	}
+	return ids
+}
+
+// Equal reports whether two window-relative sequences have identical bits.
+func (b WindowRelBSS) Equal(o WindowRelBSS) bool {
+	if len(b.bits) != len(o.bits) {
+		return false
+	}
+	for i := range b.bits {
+		if b.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the sequence in the paper's ⟨0110...⟩ style without the
+// angle brackets, e.g. "10110".
+func (b WindowRelBSS) String() string {
+	var sb strings.Builder
+	for _, bit := range b.bits {
+		if bit {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,232 @@
+package blockseq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllSelectsEverything(t *testing.T) {
+	got := Selected(All{}, Window{1, 5})
+	want := []ID{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Selected(All) = %v, want %v", got, want)
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	// "Every Monday" with daily blocks where block 1 is a Monday: period 7,
+	// offset 1.
+	b := Periodic{Period: 7, Offset: 1}
+	got := Selected(b, Window{1, 21})
+	want := []ID{1, 8, 15}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Selected(Periodic 7/1) = %v, want %v", got, want)
+	}
+	// Offset equal to the period selects multiples of the period.
+	b = Periodic{Period: 3, Offset: 3}
+	got = Selected(b, Window{1, 9})
+	want = []ID{3, 6, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Selected(Periodic 3/3) = %v, want %v", got, want)
+	}
+}
+
+func TestPeriodicPanicsOnZeroPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Periodic{Period: 0}.Bit did not panic")
+		}
+	}()
+	Periodic{}.Bit(1)
+}
+
+func TestExplicit(t *testing.T) {
+	b := Explicit{Bits: []bool{true, false, true}, Default: false}
+	got := Selected(b, Window{1, 5})
+	want := []ID{1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Selected(Explicit) = %v, want %v", got, want)
+	}
+	b.Default = true
+	got = Selected(b, Window{1, 5})
+	want = []ID{1, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Selected(Explicit default-true) = %v, want %v", got, want)
+	}
+}
+
+func TestFunc(t *testing.T) {
+	even := Func(func(id ID) bool { return id%2 == 0 })
+	got := Selected(even, Window{1, 6})
+	want := []ID{2, 4, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Selected(Func even) = %v, want %v", got, want)
+	}
+}
+
+func TestParseWindowRel(t *testing.T) {
+	b, err := ParseWindowRel("10110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", b.Len())
+	}
+	if b.String() != "10110" {
+		t.Fatalf("String = %q, want 10110", b.String())
+	}
+	wantBits := []bool{true, false, true, true, false}
+	for i, want := range wantBits {
+		if got := b.BitAt(i + 1); got != want {
+			t.Errorf("BitAt(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	if b.BitAt(0) || b.BitAt(6) {
+		t.Error("out-of-range BitAt should report false")
+	}
+	if _, err := ParseWindowRel("10x"); err == nil {
+		t.Fatal("ParseWindowRel accepted invalid character")
+	}
+}
+
+// TestProjectPaperExample reproduces the Section 3.2.1 worked example: with
+// window-independent BSS ⟨10110...⟩ and w = 3, the collection of models on
+// D[1,3] uses the sequences 101 (k=0), 001 (k=1), 001 (k=2).
+func TestProjectPaperExample(t *testing.T) {
+	b := Explicit{Bits: []bool{true, false, true, true, false}}
+	want := []string{"101", "001", "001"}
+	for k := 0; k < 3; k++ {
+		got := Project(b, 1, 3, k)
+		if got.String() != want[k] {
+			t.Errorf("Project(k=%d) = %s, want %s", k, got, want[k])
+		}
+	}
+	// The second and third models are identical, as the paper notes.
+	if !Project(b, 1, 3, 1).Equal(Project(b, 1, 3, 2)) {
+		t.Error("projected sequences k=1 and k=2 should be equal")
+	}
+}
+
+// TestRightShiftPaperExample reproduces the Section 3.2.2 worked example:
+// right-shifting ⟨101⟩ once yields ⟨010⟩.
+func TestRightShiftPaperExample(t *testing.T) {
+	b := NewWindowRel(true, false, true)
+	got := b.RightShift(1)
+	if got.String() != "010" {
+		t.Fatalf("RightShift(1) of 101 = %s, want 010", got)
+	}
+	if got2 := b.RightShift(2); got2.String() != "001" {
+		t.Fatalf("RightShift(2) of 101 = %s, want 001", got2)
+	}
+	if got0 := b.RightShift(0); !got0.Equal(b) {
+		t.Fatalf("RightShift(0) changed the sequence: %s", got0)
+	}
+}
+
+func TestRightShiftPanicsOutOfRange(t *testing.T) {
+	b := NewWindowRel(true, true)
+	for _, k := range []int{-1, 2, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RightShift(%d) did not panic", k)
+				}
+			}()
+			b.RightShift(k)
+		}()
+	}
+}
+
+func TestSelectedIn(t *testing.T) {
+	b := NewWindowRel(true, false, true)
+	got := b.SelectedIn(Window{4, 6})
+	want := []ID{4, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SelectedIn = %v, want %v", got, want)
+	}
+	// A window longer than the sequence only selects within the sequence.
+	got = b.SelectedIn(Window{4, 10})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SelectedIn long window = %v, want %v", got, want)
+	}
+	// A window shorter than the sequence truncates.
+	got = b.SelectedIn(Window{4, 4})
+	if !reflect.DeepEqual(got, []ID{4}) {
+		t.Fatalf("SelectedIn short window = %v, want [4]", got)
+	}
+}
+
+// Property: projecting then reading bits matches the source BSS outside the
+// zeroed prefix and is all-zero inside it.
+func TestProjectProperties(t *testing.T) {
+	f := func(seed int64, wRaw, kRaw uint8) bool {
+		w := int(wRaw%10) + 1
+		k := int(kRaw) % w
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]bool, w+5)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+		}
+		src := Explicit{Bits: bits}
+		base := ID(1)
+		p := Project(src, base, w, k)
+		for pos := 1; pos <= w; pos++ {
+			want := false
+			if pos > k {
+				want = src.Bit(base + ID(pos-1))
+			}
+			if p.BitAt(pos) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: right-shifting by j then by k equals right-shifting by j+k (when
+// j+k < w): the shift operation composes additively.
+func TestRightShiftComposes(t *testing.T) {
+	f := func(seed int64, wRaw, jRaw, kRaw uint8) bool {
+		w := int(wRaw%8) + 2
+		j := int(jRaw) % w
+		k := int(kRaw) % w
+		if j+k >= w {
+			return true // vacuous
+		}
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]bool, w)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+		}
+		b := NewWindowRel(bits...)
+		return b.RightShift(j).RightShift(k).Equal(b.RightShift(j + k))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of selected blocks after a k-right-shift never exceeds
+// the original selection count (bits can only fall off the end).
+func TestRightShiftMonotone(t *testing.T) {
+	f := func(seed int64, wRaw, kRaw uint8) bool {
+		w := int(wRaw%10) + 1
+		k := int(kRaw) % w
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]bool, w)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+		}
+		b := NewWindowRel(bits...)
+		win := Window{1, ID(w)}
+		return len(b.RightShift(k).SelectedIn(win)) <= len(b.SelectedIn(win))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

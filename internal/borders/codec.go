@@ -1,0 +1,75 @@
+package borders
+
+import (
+	"fmt"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// Encode serializes the model (lattice plus covered block identifiers).
+// A model is small compared to its blocks, so — as Section 3.2.3 argues —
+// keeping all but the current one on disk costs negligible space.
+func (m *Model) Encode() []byte {
+	buf := m.Lattice.Encode()
+	ids := make([]int, len(m.Blocks))
+	for i, id := range m.Blocks {
+		ids[i] = int(id)
+	}
+	buf = diskio.AppendInts(buf, ids)
+	return buf
+}
+
+// DecodeModel reverses Model.Encode.
+func DecodeModel(data []byte) (*Model, error) {
+	lat, rest, err := itemset.DecodeLattice(data)
+	if err != nil {
+		return nil, fmt.Errorf("borders: decoding model lattice: %w", err)
+	}
+	ids, rest, err := diskio.ReadInts(rest)
+	if err != nil {
+		return nil, fmt.Errorf("borders: decoding model blocks: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("borders: %d trailing bytes after model", len(rest))
+	}
+	m := &Model{Lattice: lat, Blocks: make([]blockseq.ID, len(ids))}
+	for i, id := range ids {
+		m.Blocks[i] = blockseq.ID(id)
+	}
+	return m, nil
+}
+
+// ModelStore persists models under named slots through a diskio.Store —
+// the disk-resident collection of future-window models GEMM maintains.
+type ModelStore struct {
+	store  diskio.Store
+	prefix string
+}
+
+// NewModelStore creates a store writing under the given key prefix.
+func NewModelStore(store diskio.Store, prefix string) *ModelStore {
+	return &ModelStore{store: store, prefix: prefix}
+}
+
+func (s *ModelStore) key(slot int) string {
+	return fmt.Sprintf("%s/model-%04d", s.prefix, slot)
+}
+
+// Save writes the model of one slot.
+func (s *ModelStore) Save(slot int, m *Model) error {
+	if err := s.store.Put(s.key(slot), m.Encode()); err != nil {
+		return fmt.Errorf("borders: saving model slot %d: %w", slot, err)
+	}
+	return nil
+}
+
+// Load reads the model of one slot.
+func (s *ModelStore) Load(slot int) (*Model, error) {
+	data, err := s.store.Get(s.key(slot))
+	if err != nil {
+		return nil, fmt.Errorf("borders: loading model slot %d: %w", slot, err)
+	}
+	return DecodeModel(data)
+}

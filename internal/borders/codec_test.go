@@ -1,0 +1,85 @@
+package borders
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+func TestModelEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	e := newEnv(t, "PT-Scan", 0.1)
+	m := e.mt.Empty()
+	blk := randomBlock(rng, 1, 0, 80, 10, 4)
+	e.ingest(t, m, blk)
+	if _, err := e.mt.AddBlock(m, blk); err != nil {
+		t.Fatal(err)
+	}
+
+	dec, err := DecodeModel(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	latticesMatch(t, "codec", dec.Lattice, m.Lattice)
+	if dec.Lattice.MinSupport != m.Lattice.MinSupport {
+		t.Fatalf("κ = %v, want %v", dec.Lattice.MinSupport, m.Lattice.MinSupport)
+	}
+	if dec.Lattice.Passes != m.Lattice.Passes {
+		t.Fatalf("passes = %d, want %d", dec.Lattice.Passes, m.Lattice.Passes)
+	}
+	if len(dec.Blocks) != 1 || dec.Blocks[0] != 1 {
+		t.Fatalf("blocks = %v", dec.Blocks)
+	}
+
+	// The decoded model must continue to maintain correctly.
+	blk2 := randomBlock(rng, 2, blk.Len(), 60, 10, 4)
+	e.ingest(t, dec, blk2)
+	if _, err := e.mt.AddBlock(dec, blk2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Lattice.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeModelCorrupt(t *testing.T) {
+	e := newEnv(t, "PT-Scan", 0.2)
+	m := e.mt.Empty()
+	m.Lattice.N = 10
+	m.Lattice.Frequent[itemset.NewItemset(1).Key()] = 5
+	enc := m.Encode()
+	if _, err := DecodeModel(enc[:len(enc)-1]); err == nil {
+		t.Error("accepted truncated model")
+	}
+	if _, err := DecodeModel(nil); err == nil {
+		t.Error("accepted empty model")
+	}
+	if _, err := DecodeModel(append(enc, 0xFF)); err == nil {
+		t.Error("accepted trailing garbage")
+	}
+}
+
+func TestModelStore(t *testing.T) {
+	store := diskio.NewMemStore()
+	ms := NewModelStore(store, "ckpt")
+	m := &Model{Lattice: itemset.NewLattice(0.1)}
+	m.Lattice.N = 4
+	m.Lattice.Frequent[itemset.NewItemset(2, 3).Key()] = 3
+	m.Blocks = append(m.Blocks, 1, 2)
+
+	if err := ms.Save(3, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ms.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lattice.Frequent[itemset.NewItemset(2, 3).Key()] != 3 {
+		t.Fatal("loaded model lost counts")
+	}
+	if _, err := ms.Load(99); err == nil {
+		t.Error("loaded missing slot")
+	}
+}

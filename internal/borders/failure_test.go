@@ -1,0 +1,91 @@
+package borders
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/tidlist"
+)
+
+// Failure-injection tests: storage faults during maintenance must surface
+// as errors (wrapped, with context) and never as silently wrong models.
+
+func TestCounterReadFailurePropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	fault := diskio.NewFaultStore(diskio.NewMemStore())
+	blocks := itemset.NewBlockStore(fault)
+	mt := &Maintainer{Store: blocks, Counter: PTScan{Blocks: blocks}, MinSupport: 0.1}
+	m := mt.Empty()
+
+	blk := randomBlock(rng, 1, 0, 80, 10, 4)
+	if err := blocks.Put(blk); err != nil {
+		t.Fatal(err)
+	}
+	// The update phase must read the block back; fail exactly those reads.
+	fault.FailKey = func(key string) bool { return strings.HasPrefix(key, "txblock/") }
+	_, err := mt.AddBlock(m, blk)
+	if !errors.Is(err, diskio.ErrInjected) {
+		t.Fatalf("AddBlock err = %v, want injected fault", err)
+	}
+	if !strings.Contains(err.Error(), "adding block 1") {
+		t.Fatalf("error lacks context: %v", err)
+	}
+}
+
+func TestECUTReadFailurePropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	fault := diskio.NewFaultStore(diskio.NewMemStore())
+	blocks := itemset.NewBlockStore(fault)
+	tids := tidlist.NewStore(fault)
+	mt := &Maintainer{Store: blocks, Counter: ECUT{TIDs: tids}, MinSupport: 0.1}
+	m := mt.Empty()
+
+	blk := randomBlock(rng, 1, 0, 80, 10, 4)
+	if err := blocks.Put(blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := tids.Materialize(blk); err != nil {
+		t.Fatal(err)
+	}
+	fault.FailKey = func(key string) bool { return strings.HasPrefix(key, "tid/") }
+	// A read failure on a present TID-list must propagate — only a
+	// not-found is "item absent". Silently counting zero would corrupt the
+	// model.
+	if _, err := mt.AddBlock(m, blk); !errors.Is(err, diskio.ErrInjected) {
+		t.Fatalf("AddBlock err = %v, want injected fault", err)
+	}
+}
+
+func TestDeleteBlockReadFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	fault := diskio.NewFaultStore(diskio.NewMemStore())
+	blocks := itemset.NewBlockStore(fault)
+	mt := &Maintainer{Store: blocks, Counter: PTScan{Blocks: blocks}, MinSupport: 0.1}
+	m := mt.Empty()
+
+	for i := 1; i <= 2; i++ {
+		blk := randomBlock(rng, blockseq.ID(i), (i-1)*60, 60, 10, 4)
+		if err := blocks.Put(blk); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mt.AddBlock(m, blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Use a fresh block store so the departing block must be re-read.
+	mt.Store = itemset.NewBlockStore(fault)
+	fault.FailKey = func(key string) bool { return strings.HasPrefix(key, "txblock/") }
+	if _, err := mt.DeleteBlock(m, 1); !errors.Is(err, diskio.ErrInjected) {
+		t.Fatalf("DeleteBlock err = %v, want injected fault", err)
+	}
+	// The model still lists the block (the deletion did not half-apply
+	// the block list removal before the read).
+	if len(m.Blocks) != 2 {
+		t.Fatalf("blocks after failed delete = %v", m.Blocks)
+	}
+}

@@ -1,0 +1,297 @@
+package borders
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// Maintainer drives BORDERS maintenance of a Model. Blocks must be ingested
+// into the stores the Counter reads from (the transaction BlockStore for
+// PT-Scan, the TID-list store for ECUT/ECUT+) before AddBlock is called; the
+// demon facade package does this ordering for callers.
+type Maintainer struct {
+	// Store provides the transaction data of blocks; the detection phase
+	// scans the new block through it, and DeleteBlock re-reads the departing
+	// block.
+	Store *itemset.BlockStore
+	// Counter is the update-phase counting strategy.
+	Counter Counter
+	// MinSupport is the fractional threshold κ for models created by Empty.
+	MinSupport float64
+}
+
+// Empty returns a model over zero blocks.
+func (mt *Maintainer) Empty() *Model {
+	return &Model{Lattice: itemset.NewLattice(mt.MinSupport)}
+}
+
+// AddBlock updates the model to reflect the arrival of blk, which must
+// already be ingested. It implements both BORDERS phases: the detection
+// phase scans only the new block, updating the supports of every tracked
+// itemset (and discovering never-seen items); the update phase, invoked only
+// when the detection phase flags border promotions, counts new candidate
+// itemsets over all of the model's blocks with the configured Counter.
+//
+// Adding a block to an empty model degenerates to computing the initial
+// lattice through the Counter, one level at a time.
+func (mt *Maintainer) AddBlock(m *Model, blk *itemset.TxBlock) (Stats, error) {
+	var st Stats
+	for _, id := range m.Blocks {
+		if id == blk.ID {
+			return st, fmt.Errorf("borders: block %d already part of the model", blk.ID)
+		}
+	}
+	l := m.Lattice
+
+	start := time.Now()
+	// Detection phase: one scan of the new block. Tracked itemsets are
+	// counted with a prefix tree; untracked single items are counted on the
+	// side (every item ever seen is tracked, so an untracked item is new).
+	tracked := make([]itemset.Itemset, 0, len(l.Frequent)+len(l.Border))
+	for k := range l.Frequent {
+		tracked = append(tracked, k.Itemset())
+	}
+	for k := range l.Border {
+		tracked = append(tracked, k.Itemset())
+	}
+	tree := itemset.NewPrefixTree(tracked)
+	newItems := make(map[itemset.Item]int)
+	isTracked := func(it itemset.Item) bool {
+		k := itemset.Itemset{it}.Key()
+		_, f := l.Frequent[k]
+		if f {
+			return true
+		}
+		_, b := l.Border[k]
+		return b
+	}
+	for _, tx := range blk.Txs {
+		tree.CountTx(tx)
+		for _, it := range tx.Items {
+			if !isTracked(it) {
+				newItems[it]++
+			}
+		}
+	}
+	for k, c := range tree.Counts() {
+		if _, ok := l.Frequent[k]; ok {
+			l.Frequent[k] += c
+		} else {
+			l.Border[k] += c
+		}
+	}
+	for it, c := range newItems {
+		l.Border[itemset.Itemset{it}.Key()] = c
+	}
+	l.N += len(blk.Txs)
+	l.Passes++
+	m.Blocks = append(m.Blocks, blk.ID)
+	st.Detection = time.Since(start)
+
+	ust, err := mt.reclassifyAndExpand(m)
+	if err != nil {
+		return st, fmt.Errorf("borders: adding block %d: %w", blk.ID, err)
+	}
+	return st.Add(ust), nil
+}
+
+// DeleteBlock updates the model to reflect the removal of one of its blocks
+// (the AuM variant of Section 3.2.4): the supports of all tracked itemsets
+// contained in the departing transactions are decremented, then the model is
+// reclassified — border itemsets may rise above the shrunken threshold,
+// triggering the same update phase as an addition.
+func (mt *Maintainer) DeleteBlock(m *Model, id blockseq.ID) (Stats, error) {
+	var st Stats
+	pos := -1
+	for i, b := range m.Blocks {
+		if b == id {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return st, fmt.Errorf("borders: block %d is not part of the model", id)
+	}
+	blk, err := mt.Store.Get(id)
+	if err != nil {
+		return st, fmt.Errorf("borders: deleting block %d: %w", id, err)
+	}
+
+	start := time.Now()
+	l := m.Lattice
+	tracked := make([]itemset.Itemset, 0, len(l.Frequent)+len(l.Border))
+	for k := range l.Frequent {
+		tracked = append(tracked, k.Itemset())
+	}
+	for k := range l.Border {
+		tracked = append(tracked, k.Itemset())
+	}
+	tree := itemset.NewPrefixTree(tracked)
+	for _, tx := range blk.Txs {
+		tree.CountTx(tx)
+	}
+	for k, c := range tree.Counts() {
+		if _, ok := l.Frequent[k]; ok {
+			l.Frequent[k] -= c
+		} else {
+			l.Border[k] -= c
+		}
+	}
+	l.N -= len(blk.Txs)
+	l.Passes++
+	m.Blocks = append(m.Blocks[:pos], m.Blocks[pos+1:]...)
+	st.Detection = time.Since(start)
+
+	ust, err := mt.reclassifyAndExpand(m)
+	if err != nil {
+		return st, fmt.Errorf("borders: deleting block %d: %w", id, err)
+	}
+	return st.Add(ust), nil
+}
+
+// ChangeMinSupport retargets the model to threshold κ′ (Section 3.1.1).
+// Raising the threshold needs no data access: the tracked counts are exact,
+// so the new lattice is carved out of the old one. Lowering it reclassifies
+// the tracked itemsets and runs the BORDERS update phase to expand the
+// frontier.
+func (mt *Maintainer) ChangeMinSupport(m *Model, minsup float64) (Stats, error) {
+	if minsup <= 0 || minsup >= 1 {
+		return Stats{}, fmt.Errorf("borders: minimum support %v outside (0, 1)", minsup)
+	}
+	m.Lattice.MinSupport = minsup
+	st, err := mt.reclassifyAndExpand(m)
+	if err != nil {
+		return st, fmt.Errorf("borders: changing threshold to %v: %w", minsup, err)
+	}
+	return st, nil
+}
+
+// reclassifyAndExpand restores the lattice invariants after counts, N, or
+// the threshold changed, then — if any border itemset was promoted (or any
+// untracked candidates became generable) — runs the update phase: repeated
+// candidate generation by prefix join, pruning, counting through the
+// Counter, and classification, until no new frequent itemsets appear.
+func (mt *Maintainer) reclassifyAndExpand(m *Model) (Stats, error) {
+	var st Stats
+	l := m.Lattice
+	minCount := itemset.MinCount(l.N, l.MinSupport)
+
+	// Demote frequent itemsets that fell below the threshold.
+	var demoted []itemset.Key
+	for k, c := range l.Frequent {
+		if c < minCount {
+			demoted = append(demoted, k)
+		}
+	}
+	demotedCounts := make(map[itemset.Key]int, len(demoted))
+	for _, k := range demoted {
+		demotedCounts[k] = l.Frequent[k]
+		delete(l.Frequent, k)
+	}
+	st.Demoted = len(demoted)
+
+	// A demoted itemset joins the border iff all its proper subsets are
+	// still frequent (footnote 6).
+	for k, c := range demotedCounts {
+		x := k.Itemset()
+		if allSubsetsFrequent(l, x) {
+			l.Border[k] = c
+		}
+	}
+	// Border itemsets with a no-longer-frequent subset leave the border.
+	for k := range l.Border {
+		if !allSubsetsFrequent(l, k.Itemset()) {
+			delete(l.Border, k)
+		}
+	}
+
+	// Promote border itemsets that reached the threshold.
+	promoted := false
+	for k, c := range l.Border {
+		if c >= minCount {
+			l.Frequent[k] = c
+			delete(l.Border, k)
+			st.Promoted++
+			promoted = true
+		}
+	}
+	if !promoted {
+		return st, nil
+	}
+
+	// Update phase: expand the frontier until no new frequent itemsets.
+	start := time.Now()
+	st.UpdateInvoked = true
+	for {
+		cands := newCandidates(l)
+		if len(cands) == 0 {
+			break
+		}
+		counts, err := mt.Counter.Count(cands, m.Blocks)
+		if err != nil {
+			return st, err
+		}
+		st.CandidatesCounted += len(cands)
+		anyFrequent := false
+		for _, c := range cands {
+			k := c.Key()
+			if counts[k] >= minCount {
+				l.Frequent[k] = counts[k]
+				anyFrequent = true
+			} else {
+				l.Border[k] = counts[k]
+			}
+		}
+		if !anyFrequent {
+			break
+		}
+	}
+	st.Update = time.Since(start)
+	return st, nil
+}
+
+// allSubsetsFrequent reports whether every proper (len-1)-subset of x is in
+// the frequent set; 1-itemsets trivially qualify (their proper subset is ∅).
+func allSubsetsFrequent(l *itemset.Lattice, x itemset.Itemset) bool {
+	if len(x) <= 1 {
+		return true
+	}
+	for i := range x {
+		if _, ok := l.Frequent[x.Without(i).Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// newCandidates generates untracked candidates from the current frequent
+// sets: a prefix join within each size class, the Apriori subset prune, and
+// a filter against already-tracked itemsets. Output order is deterministic.
+func newCandidates(l *itemset.Lattice) []itemset.Itemset {
+	bySize := make(map[int][]itemset.Itemset)
+	freqKeys := make(map[itemset.Key]bool, len(l.Frequent))
+	for k := range l.Frequent {
+		x := k.Itemset()
+		bySize[len(x)] = append(bySize[len(x)], x)
+		freqKeys[k] = true
+	}
+	var out []itemset.Itemset
+	for _, sets := range bySize {
+		cands := itemset.PruneByFrequent(itemset.PrefixJoin(sets), freqKeys)
+		for _, c := range cands {
+			k := c.Key()
+			if _, ok := l.Frequent[k]; ok {
+				continue
+			}
+			if _, ok := l.Border[k]; ok {
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	itemset.SortItemsets(out)
+	return out
+}

@@ -1,0 +1,73 @@
+package borders
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// ParallelCounter wraps a Counter and shards the selected blocks across
+// worker goroutines, merging the per-shard counts. Support counts are
+// additive over blocks (the Section 3.1.1 additivity property), so the
+// result is exactly the serial count regardless of scheduling. The wrapped
+// counter must be safe for concurrent Count calls on disjoint block sets —
+// all counters in this package are, because the underlying stores are.
+type ParallelCounter struct {
+	// Inner is the counting strategy to shard.
+	Inner Counter
+	// Workers is the shard count; zero or negative selects GOMAXPROCS.
+	Workers int
+}
+
+// Name implements Counter.
+func (c ParallelCounter) Name() string { return c.Inner.Name() + "-parallel" }
+
+// Count implements Counter.
+func (c ParallelCounter) Count(sets []itemset.Itemset, blocks []blockseq.ID) (map[itemset.Key]int, error) {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	if workers <= 1 {
+		return c.Inner.Count(sets, blocks)
+	}
+
+	// Contiguous shards keep block locality.
+	type result struct {
+		counts map[itemset.Key]int
+		err    error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(blocks) / workers
+		hi := (w + 1) * len(blocks) / workers
+		wg.Add(1)
+		go func(w int, shard []blockseq.ID) {
+			defer wg.Done()
+			counts, err := c.Inner.Count(sets, shard)
+			results[w] = result{counts: counts, err: err}
+		}(w, blocks[lo:hi])
+	}
+	wg.Wait()
+
+	total := make(map[itemset.Key]int, len(sets))
+	for _, x := range sets {
+		total[x.Key()] = 0
+	}
+	for w, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("borders: parallel shard %d: %w", w, r.err)
+		}
+		for k, v := range r.counts {
+			total[k] += v
+		}
+	}
+	return total, nil
+}

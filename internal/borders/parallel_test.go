@@ -1,0 +1,104 @@
+package borders
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// TestParallelCounterMatchesSerial: sharded counting must equal serial
+// counting exactly (additivity), for every strategy and worker count.
+func TestParallelCounterMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	e := newEnv(t, "PT-Scan", 0.1)
+	m := e.mt.Empty()
+	var ids []blockseq.ID
+	tid := 0
+	for i := 1; i <= 6; i++ {
+		blk := randomBlock(rng, blockseq.ID(i), tid, 60, 12, 4)
+		tid += 60
+		e.ingest(t, m, blk)
+		if _, err := e.mt.AddBlock(m, blk); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, blk.ID)
+	}
+	var sets []itemset.Itemset
+	for k := range m.Lattice.Border {
+		sets = append(sets, k.Itemset())
+		if len(sets) == 25 {
+			break
+		}
+	}
+	itemset.SortItemsets(sets)
+
+	counters := []Counter{
+		PTScan{Blocks: e.blocks},
+		HashTreeScan{Blocks: e.blocks},
+		ECUT{TIDs: e.tids},
+		ECUTPlus{TIDs: e.tids},
+	}
+	for _, inner := range counters {
+		want, err := inner.Count(sets, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+			pc := ParallelCounter{Inner: inner, Workers: workers}
+			got, err := pc.Count(sets, ids)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", inner.Name(), workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s workers=%d: parallel counts diverge", inner.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestParallelCounterInMaintenance: a maintainer driven by the parallel
+// counter must produce the identical model.
+func TestParallelCounterInMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	serial := newEnv(t, "ECUT", 0.1)
+	parallel := newEnv(t, "ECUT", 0.1)
+	parallel.mt.Counter = ParallelCounter{Inner: parallel.mt.Counter, Workers: 4}
+
+	ms := serial.mt.Empty()
+	mp := parallel.mt.Empty()
+	tid := 0
+	for i := 1; i <= 4; i++ {
+		blk := randomBlock(rng, blockseq.ID(i), tid, 70, 10, 4)
+		tid += 70
+		serial.ingest(t, ms, blk)
+		parallel.ingest(t, mp, blk)
+		if _, err := serial.mt.AddBlock(ms, blk); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parallel.mt.AddBlock(mp, blk); err != nil {
+			t.Fatal(err)
+		}
+		latticesMatch(t, "parallel", mp.Lattice, ms.Lattice)
+	}
+}
+
+type errCounter struct{}
+
+func (errCounter) Name() string { return "err" }
+func (errCounter) Count([]itemset.Itemset, []blockseq.ID) (map[itemset.Key]int, error) {
+	return nil, errors.New("boom")
+}
+
+func TestParallelCounterPropagatesErrors(t *testing.T) {
+	pc := ParallelCounter{Inner: errCounter{}, Workers: 3}
+	if _, err := pc.Count([]itemset.Itemset{itemset.NewItemset(1)}, []blockseq.ID{1, 2, 3, 4}); err == nil {
+		t.Fatal("shard error not propagated")
+	}
+	if got := pc.Name(); got != "err-parallel" {
+		t.Fatalf("Name = %q", got)
+	}
+}

@@ -1,0 +1,166 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomClusterPair draws two random point sets and their CFs.
+func randomClusterPair(rng *rand.Rand) (a, b []Point, ca, cb CF) {
+	dim := 1 + rng.Intn(3)
+	mk := func(n int, off float64) ([]Point, CF) {
+		pts := make([]Point, n)
+		c := Zero(dim)
+		for i := range pts {
+			p := make(Point, dim)
+			for d := range p {
+				p[d] = rng.NormFloat64()*3 + off
+			}
+			pts[i] = p
+			c = c.AddPoint(p)
+		}
+		return pts, c
+	}
+	a, ca = mk(2+rng.Intn(10), 0)
+	b, cb = mk(2+rng.Intn(10), rng.Float64()*10)
+	return a, b, ca, cb
+}
+
+func TestD2MatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		a, b, ca, cb := randomClusterPair(rng)
+		var sum float64
+		for _, p := range a {
+			for _, q := range b {
+				d := Distance(p, q)
+				sum += d * d
+			}
+		}
+		want := math.Sqrt(sum / float64(len(a)*len(b)))
+		got := D2.Between(ca, cb)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: D2 = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestD3MatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		a, b, ca, cb := randomClusterPair(rng)
+		all := append(append([]Point{}, a...), b...)
+		var sum float64
+		for i := range all {
+			for j := range all {
+				if i == j {
+					continue
+				}
+				d := Distance(all[i], all[j])
+				sum += d * d
+			}
+		}
+		n := float64(len(all))
+		want := math.Sqrt(sum / (n * (n - 1)))
+		got := D3.Between(ca, cb)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: D3 = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestD4MatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	wss := func(pts []Point) float64 {
+		c := Zero(len(pts[0]))
+		for _, p := range pts {
+			c = c.AddPoint(p)
+		}
+		cent := c.Centroid()
+		var s float64
+		for _, p := range pts {
+			d := Distance(p, cent)
+			s += d * d
+		}
+		return s
+	}
+	for trial := 0; trial < 25; trial++ {
+		a, b, ca, cb := randomClusterPair(rng)
+		all := append(append([]Point{}, a...), b...)
+		want := math.Sqrt(math.Max(0, wss(all)-wss(a)-wss(b)))
+		got := D4.Between(ca, cb)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: D4 = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestD0D1(t *testing.T) {
+	a := NewCF(Point{0, 0})
+	b := NewCF(Point{3, 4})
+	if got := D0.Between(a, b); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("D0 = %v", got)
+	}
+	if got := D1.Between(a, b); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("D1 = %v", got)
+	}
+}
+
+func TestMetricStringAndValidation(t *testing.T) {
+	names := map[Metric]string{D0: "D0", D1: "D1", D2: "D2", D3: "D3", D4: "D4"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%v.String() = %q", m, m.String())
+		}
+	}
+	if Metric(9).String() == "" {
+		t.Error("unknown metric printed empty")
+	}
+	cfg := TreeConfig{Branching: 4, LeafEntries: 4, MaxLeafEntriesTotal: 8, Metric: Metric(9)}
+	if _, err := NewTree(cfg); err == nil {
+		t.Error("accepted unknown metric")
+	}
+}
+
+func TestMetricBetweenPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Between on unknown metric did not panic")
+		}
+	}()
+	Metric(9).Between(NewCF(Point{1}), NewCF(Point{2}))
+}
+
+// TestTreeWorksUnderEveryMetric: the CF-tree must preserve mass and respect
+// its budget regardless of the descent metric.
+func TestTreeWorksUnderEveryMetric(t *testing.T) {
+	for _, m := range []Metric{D0, D1, D2, D3, D4} {
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := TreeConfig{Branching: 4, LeafEntries: 8, MaxLeafEntriesTotal: 64, Metric: m}
+			tree := newTestTree(t, cfg)
+			rng := rand.New(rand.NewSource(4))
+			n := 1500
+			for i := 0; i < n; i++ {
+				c := Point{float64(i%3) * 40, 0}
+				p := Point{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()}
+				if err := tree.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tree.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			for _, sc := range tree.SubClusters() {
+				total += sc.N
+			}
+			if total != n {
+				t.Fatalf("mass %d, want %d", total, n)
+			}
+			if tree.NumSubClusters() > cfg.MaxLeafEntriesTotal {
+				t.Fatalf("budget exceeded: %d", tree.NumSubClusters())
+			}
+		})
+	}
+}

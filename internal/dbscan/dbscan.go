@@ -1,0 +1,347 @@
+// Package dbscan implements DBSCAN (Ester, Kriegel, Xu 1995) and its
+// incremental variant (Ester et al., VLDB 1998), the incremental clustering
+// algorithm the DEMON paper cites when motivating GEMM: insertions are cheap
+// and local, while a deletion can split a cluster and forces the affected
+// component to be re-examined — "the cost incurred by incremental DBScan to
+// maintain the set of clusters when a tuple is deleted is higher than that
+// when a tuple is inserted" (Section 3.2.4).
+//
+// A point is a core point when its ε-neighbourhood (including itself) holds
+// at least MinPts points; clusters are the connected components of core
+// points under the "within ε" relation, with non-core points attached to a
+// neighbouring core's cluster (border points) or left as noise.
+package dbscan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/demon-mining/demon/internal/cf"
+)
+
+// Config parameterizes the clustering.
+type Config struct {
+	// Eps is the neighbourhood radius ε.
+	Eps float64
+	// MinPts is the core-point density threshold, counting the point
+	// itself.
+	MinPts int
+}
+
+func (c Config) validate() error {
+	if c.Eps <= 0 {
+		return fmt.Errorf("dbscan: eps %v <= 0", c.Eps)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("dbscan: minPts %d < 1", c.MinPts)
+	}
+	return nil
+}
+
+// Incremental maintains a DBSCAN clustering under point insertions and
+// deletions. Neighbour queries run against a grid index with ε-sized cells.
+type Incremental struct {
+	cfg   Config
+	dim   int
+	pts   []cf.Point
+	alive []bool
+	// nbrCount[i] = |N_ε(i)| among alive points, including i itself.
+	nbrCount []int
+	// parent is a union-find forest over core-core ε-edges.
+	parent []int
+	size   []int
+	grid   map[string][]int
+	// Stats
+	nbrQueries int
+	inserts    int
+	deletes    int
+}
+
+// NewIncremental creates an empty clustering.
+func NewIncremental(cfg Config) (*Incremental, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Incremental{cfg: cfg, grid: make(map[string][]int)}, nil
+}
+
+// NeighbourQueries returns how many ε-neighbourhood queries were executed —
+// the cost metric the insertion-vs-deletion ablation reports.
+func (c *Incremental) NeighbourQueries() int { return c.nbrQueries }
+
+func (c *Incremental) cellOf(p cf.Point) string {
+	var sb strings.Builder
+	for _, x := range p {
+		fmt.Fprintf(&sb, "%d,", int(math.Floor(x/c.cfg.Eps)))
+	}
+	return sb.String()
+}
+
+// neighbours returns the ids of alive points within ε of p (possibly
+// including an id the caller wants to exclude; the caller filters).
+func (c *Incremental) neighbours(p cf.Point) []int {
+	c.nbrQueries++
+	coords := make([]int, len(p))
+	for i, x := range p {
+		coords[i] = int(math.Floor(x / c.cfg.Eps))
+	}
+	var out []int
+	// Enumerate the 3^d neighbouring cells.
+	offsets := make([]int, len(p))
+	for i := range offsets {
+		offsets[i] = -1
+	}
+	for {
+		var sb strings.Builder
+		for i := range coords {
+			fmt.Fprintf(&sb, "%d,", coords[i]+offsets[i])
+		}
+		for _, id := range c.grid[sb.String()] {
+			if c.alive[id] && cf.Distance(c.pts[id], p) <= c.cfg.Eps {
+				out = append(out, id)
+			}
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(offsets); i++ {
+			offsets[i]++
+			if offsets[i] <= 1 {
+				break
+			}
+			offsets[i] = -1
+		}
+		if i == len(offsets) {
+			break
+		}
+	}
+	return out
+}
+
+func (c *Incremental) find(i int) int {
+	for c.parent[i] != i {
+		c.parent[i] = c.parent[c.parent[i]]
+		i = c.parent[i]
+	}
+	return i
+}
+
+func (c *Incremental) union(a, b int) {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return
+	}
+	if c.size[ra] < c.size[rb] {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
+	c.size[ra] += c.size[rb]
+}
+
+// isCore reports whether an alive point currently meets the density
+// threshold.
+func (c *Incremental) isCore(id int) bool {
+	return c.alive[id] && c.nbrCount[id] >= c.cfg.MinPts
+}
+
+// Insert adds a point and repairs the clustering locally: neighbour counts
+// in N_ε(p) are incremented, and every point that thereby becomes core (p
+// itself included) is connected to the cores in its neighbourhood. Insertion
+// can only merge clusters, so union-find absorbs all structural change.
+func (c *Incremental) Insert(p cf.Point) (int, error) {
+	if c.dim == 0 {
+		c.dim = len(p)
+	} else if len(p) != c.dim {
+		return 0, fmt.Errorf("dbscan: point dimension %d, clustering dimension %d", len(p), c.dim)
+	}
+	id := len(c.pts)
+	cp := make(cf.Point, len(p))
+	copy(cp, p)
+	nbrs := c.neighbours(cp)
+
+	c.pts = append(c.pts, cp)
+	c.alive = append(c.alive, true)
+	c.nbrCount = append(c.nbrCount, len(nbrs)+1) // + itself
+	c.parent = append(c.parent, id)
+	c.size = append(c.size, 1)
+	cell := c.cellOf(cp)
+	c.grid[cell] = append(c.grid[cell], id)
+	c.inserts++
+
+	// Count updates; collect upgrades.
+	var newlyCore []int
+	if c.isCore(id) {
+		newlyCore = append(newlyCore, id)
+	}
+	for _, q := range nbrs {
+		c.nbrCount[q]++
+		if c.nbrCount[q] == c.cfg.MinPts {
+			newlyCore = append(newlyCore, q)
+		}
+	}
+	// Connect each newly-core point to the cores around it.
+	for _, q := range newlyCore {
+		for _, r := range c.neighbours(c.pts[q]) {
+			if r != q && c.isCore(r) {
+				c.union(q, r)
+			}
+		}
+	}
+	return id, nil
+}
+
+// Delete removes a point. Neighbour counts are decremented; if the deleted
+// point or any demoted neighbour was core, the connected component(s) they
+// belonged to may split, so those components' cores are re-linked from
+// scratch — the locally bounded but strictly costlier repair the paper
+// alludes to.
+func (c *Incremental) Delete(id int) error {
+	if id < 0 || id >= len(c.pts) || !c.alive[id] {
+		return fmt.Errorf("dbscan: point %d does not exist", id)
+	}
+	wasCore := c.isCore(id)
+	nbrs := c.neighbours(c.pts[id])
+
+	// Roots whose components may split.
+	affected := make(map[int]bool)
+	if wasCore {
+		affected[c.find(id)] = true
+	}
+
+	c.alive[id] = false
+	c.deletes++
+	for _, q := range nbrs {
+		if q == id {
+			continue
+		}
+		demotedFromCore := c.nbrCount[q] == c.cfg.MinPts
+		c.nbrCount[q]--
+		if demotedFromCore {
+			affected[c.find(q)] = true
+		}
+	}
+	if len(affected) == 0 {
+		return nil
+	}
+
+	// Gather the alive members of the affected components and rebuild their
+	// core connectivity. Components are closed under core ε-edges, so
+	// resetting and re-linking only their members is sound.
+	var members []int
+	for i := range c.pts {
+		if c.alive[i] && affected[c.find(i)] {
+			members = append(members, i)
+		}
+	}
+	for _, m := range members {
+		c.parent[m] = m
+		c.size[m] = 1
+	}
+	for _, m := range members {
+		if !c.isCore(m) {
+			continue
+		}
+		for _, r := range c.neighbours(c.pts[m]) {
+			if r != m && c.isCore(r) {
+				c.union(m, r)
+			}
+		}
+	}
+	return nil
+}
+
+// Point returns the coordinates of a live point.
+func (c *Incremental) Point(id int) (cf.Point, error) {
+	if id < 0 || id >= len(c.pts) || !c.alive[id] {
+		return nil, fmt.Errorf("dbscan: point %d does not exist", id)
+	}
+	return c.pts[id], nil
+}
+
+// Noise is the label of points belonging to no cluster.
+const Noise = -1
+
+// Labels returns the cluster label of every inserted point id (deleted
+// points and noise get Noise). Labels are dense, deterministic and ordered
+// by the smallest point id in each cluster. Border points attach to the
+// cluster of their smallest-rooted core neighbour.
+func (c *Incremental) Labels() []int {
+	labels := make([]int, len(c.pts))
+	rootLabel := make(map[int]int)
+	var roots []int
+	for i := range c.pts {
+		labels[i] = Noise
+		if c.isCore(i) {
+			r := c.find(i)
+			if _, ok := rootLabel[r]; !ok {
+				rootLabel[r] = 0
+				roots = append(roots, r)
+			}
+		}
+	}
+	// Deterministic labels: order roots by their smallest core member.
+	smallest := make(map[int]int, len(rootLabel))
+	for i := range c.pts {
+		if c.isCore(i) {
+			r := c.find(i)
+			if s, ok := smallest[r]; !ok || i < s {
+				smallest[r] = i
+			}
+		}
+	}
+	sort.Slice(roots, func(a, b int) bool { return smallest[roots[a]] < smallest[roots[b]] })
+	for lbl, r := range roots {
+		rootLabel[r] = lbl
+	}
+	for i := range c.pts {
+		if c.isCore(i) {
+			labels[i] = rootLabel[c.find(i)]
+		}
+	}
+	// Border points.
+	for i := range c.pts {
+		if !c.alive[i] || c.isCore(i) {
+			continue
+		}
+		best := -1
+		for _, q := range c.neighbours(c.pts[i]) {
+			if q != i && c.isCore(q) {
+				if lbl := rootLabel[c.find(q)]; best == -1 || lbl < best {
+					best = lbl
+				}
+			}
+		}
+		if best >= 0 {
+			labels[i] = best
+		}
+	}
+	return labels
+}
+
+// NumClusters returns the current number of clusters.
+func (c *Incremental) NumClusters() int {
+	roots := make(map[int]bool)
+	for i := range c.pts {
+		if c.isCore(i) {
+			roots[c.find(i)] = true
+		}
+	}
+	return len(roots)
+}
+
+// Cluster runs classic non-incremental DBSCAN over a point set and returns
+// labels parallel to the input (Noise for noise points). It is the
+// from-scratch reference the incremental variant is checked against.
+func Cluster(cfg Config, pts []cf.Point) ([]int, error) {
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		if _, err := inc.Insert(p); err != nil {
+			return nil, err
+		}
+	}
+	return inc.Labels(), nil
+}

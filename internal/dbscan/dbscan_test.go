@@ -1,0 +1,267 @@
+package dbscan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/cf"
+)
+
+// naiveLabels is an independent from-scratch DBSCAN: brute-force
+// neighbourhoods, BFS over cores, border points attached to the
+// smallest-labelled core neighbour (the same deterministic rule the
+// incremental implementation uses).
+func naiveLabels(cfg Config, pts []cf.Point) []int {
+	n := len(pts)
+	within := func(a, b int) bool { return cf.Distance(pts[a], pts[b]) <= cfg.Eps }
+	core := make([]bool, n)
+	for i := 0; i < n; i++ {
+		count := 0
+		for j := 0; j < n; j++ {
+			if within(i, j) {
+				count++
+			}
+		}
+		core[i] = count >= cfg.MinPts
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if !core[i] || labels[i] != Noise {
+			continue
+		}
+		// BFS over cores.
+		queue := []int{i}
+		labels[i] = next
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if v != u && core[v] && labels[v] == Noise && within(u, v) {
+					labels[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	for i := 0; i < n; i++ {
+		if core[i] {
+			continue
+		}
+		best := Noise
+		for j := 0; j < n; j++ {
+			if j != i && core[j] && within(i, j) {
+				if best == Noise || labels[j] < best {
+					best = labels[j]
+				}
+			}
+		}
+		labels[i] = best
+	}
+	return labels
+}
+
+func randomPoints(rng *rand.Rand, n int) []cf.Point {
+	pts := make([]cf.Point, n)
+	for i := range pts {
+		pts[i] = cf.Point{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	return pts
+}
+
+func TestInsertOnlyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := Config{Eps: 1.0, MinPts: 4}
+	for trial := 0; trial < 15; trial++ {
+		pts := randomPoints(rng, 40+rng.Intn(60))
+		got, err := Cluster(cfg, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveLabels(cfg, pts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: labels diverge\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+func TestInsertDeleteMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := Config{Eps: 1.2, MinPts: 3}
+	for trial := 0; trial < 15; trial++ {
+		inc, err := NewIncremental(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []int
+		alive := make(map[int]bool)
+		for step := 0; step < 120; step++ {
+			if len(ids) > 0 && rng.Float64() < 0.35 {
+				// Delete a random alive point.
+				var aliveIDs []int
+				for id := range alive {
+					aliveIDs = append(aliveIDs, id)
+				}
+				if len(aliveIDs) > 0 {
+					id := aliveIDs[rng.Intn(len(aliveIDs))]
+					if err := inc.Delete(id); err != nil {
+						t.Fatal(err)
+					}
+					delete(alive, id)
+					continue
+				}
+			}
+			p := cf.Point{rng.Float64() * 8, rng.Float64() * 8}
+			id, err := inc.Insert(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+			alive[id] = true
+		}
+		// Compare against naive DBSCAN over the alive points in id order.
+		var pts []cf.Point
+		var aliveOrder []int
+		for _, id := range ids {
+			if alive[id] {
+				p, err := inc.Point(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pts = append(pts, p)
+				aliveOrder = append(aliveOrder, id)
+			}
+		}
+		want := naiveLabels(cfg, pts)
+		labels := inc.Labels()
+		got := make([]int, len(aliveOrder))
+		for i, id := range aliveOrder {
+			got[i] = labels[id]
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: labels diverge after deletions\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// barbell builds two dense blobs joined by a single bridge point, and
+// returns the incremental clustering plus the bridge id.
+func barbell(t *testing.T) (*Incremental, int) {
+	t.Helper()
+	inc, err := NewIncremental(Config{Eps: 1.1, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := func(cx float64) {
+		for _, d := range []cf.Point{{0, 0}, {0.3, 0}, {0, 0.3}, {0.3, 0.3}, {0.15, 0.15}} {
+			if _, err := inc.Insert(cf.Point{cx + d[0], d[1]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	blob(0)
+	blob(2.0)
+	// Bridge at x=1.0 connects cores of both blobs (within 1.1 of each).
+	bridge, err := inc.Insert(cf.Point{1.0, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inc, bridge
+}
+
+func TestBridgeMergesAndDeleteSplits(t *testing.T) {
+	inc, bridge := barbell(t)
+	if got := inc.NumClusters(); got != 1 {
+		t.Fatalf("with bridge: %d clusters, want 1", got)
+	}
+	if err := inc.Delete(bridge); err != nil {
+		t.Fatal(err)
+	}
+	if got := inc.NumClusters(); got != 2 {
+		t.Fatalf("after deleting bridge: %d clusters, want 2", got)
+	}
+}
+
+// TestDeletionCostsMoreThanInsertion pins the Section 3.2.4 claim the
+// package exists to demonstrate: the bridge deletion (a cluster split)
+// issues more neighbourhood queries than the bridge insertion (a merge).
+func TestDeletionCostsMoreThanInsertion(t *testing.T) {
+	inc, _ := barbell(t)
+	before := inc.NeighbourQueries()
+	id, err := inc.Insert(cf.Point{1.0, 0.45}) // second bridge point
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertCost := inc.NeighbourQueries() - before
+
+	before = inc.NeighbourQueries()
+	if err := inc.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	deleteCost := inc.NeighbourQueries() - before
+
+	if deleteCost <= insertCost {
+		t.Fatalf("delete cost %d not greater than insert cost %d", deleteCost, insertCost)
+	}
+}
+
+func TestNoiseAndBorder(t *testing.T) {
+	inc, err := NewIncremental(Config{Eps: 1.0, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3-point core cluster, one border point, one far noise point.
+	for _, p := range []cf.Point{{0, 0}, {0.5, 0}, {0, 0.5}} {
+		if _, err := inc.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	border, _ := inc.Insert(cf.Point{0.9, 0}) // near core 0/1 but sparse around it
+	noise, _ := inc.Insert(cf.Point{50, 50})  // far away
+	labels := inc.Labels()
+	if labels[noise] != Noise {
+		t.Fatalf("noise point labelled %d", labels[noise])
+	}
+	if labels[border] == Noise {
+		t.Fatal("border point labelled noise")
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("cluster labels inconsistent: %v", labels[:3])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewIncremental(Config{Eps: 0, MinPts: 3}); err == nil {
+		t.Error("accepted eps = 0")
+	}
+	if _, err := NewIncremental(Config{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("accepted minPts = 0")
+	}
+	inc, err := NewIncremental(Config{Eps: 1, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Insert(cf.Point{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Insert(cf.Point{1, 2, 3}); err == nil {
+		t.Error("accepted dimension change")
+	}
+	if err := inc.Delete(99); err == nil {
+		t.Error("accepted unknown id")
+	}
+	if err := inc.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Delete(0); err == nil {
+		t.Error("accepted double delete")
+	}
+	if _, err := inc.Point(0); err == nil {
+		t.Error("Point of deleted id succeeded")
+	}
+}

@@ -1,0 +1,157 @@
+package diskio
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortedIntsRoundTrip(t *testing.T) {
+	cases := [][]int{
+		nil,
+		{0},
+		{5},
+		{0, 1, 2, 3},
+		{10, 100, 1000, 1000000},
+	}
+	for _, xs := range cases {
+		buf := AppendSortedInts(nil, xs)
+		got, rest, err := ReadSortedInts(buf)
+		if err != nil {
+			t.Fatalf("ReadSortedInts(%v): %v", xs, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trailing bytes after %v", xs)
+		}
+		if len(xs) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, xs) {
+			t.Fatalf("round trip %v -> %v", xs, got)
+		}
+	}
+}
+
+func TestSortedIntsPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendSortedInts accepted unsorted input")
+		}
+	}()
+	AppendSortedInts(nil, []int{3, 2})
+}
+
+func TestSortedIntsPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendSortedInts accepted duplicate")
+		}
+	}()
+	AppendSortedInts(nil, []int{2, 2})
+}
+
+// Property: encode/decode of random strictly-increasing lists is lossless and
+// delta encoding never exceeds the raw encoding size.
+func TestSortedIntsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 64)
+		set := make(map[int]bool, n)
+		for len(set) < n {
+			set[rng.Intn(1<<20)] = true
+		}
+		xs := make([]int, 0, n)
+		for x := range set {
+			xs = append(xs, x)
+		}
+		sort.Ints(xs)
+		buf := AppendSortedInts(nil, xs)
+		got, rest, err := ReadSortedInts(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		raw := AppendInts(nil, xs)
+		return len(buf) <= len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntsRoundTrip(t *testing.T) {
+	xs := []int{5, 0, 5, 1 << 30}
+	buf := AppendInts(nil, xs)
+	got, rest, err := ReadInts(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("ReadInts err=%v rest=%d", err, len(rest))
+	}
+	if !reflect.DeepEqual(got, xs) {
+		t.Fatalf("round trip %v -> %v", xs, got)
+	}
+}
+
+func TestFloat64sRoundTrip(t *testing.T) {
+	xs := []float64{0, -1.5, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64}
+	buf := AppendFloat64s(nil, xs)
+	got, rest, err := ReadFloat64s(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("ReadFloat64s err=%v rest=%d", err, len(rest))
+	}
+	if !reflect.DeepEqual(got, xs) {
+		t.Fatalf("round trip %v -> %v", xs, got)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	// Length claims more elements than bytes available.
+	if _, _, err := ReadSortedInts([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Error("ReadSortedInts accepted implausible length")
+	}
+	if _, _, err := ReadInts([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Error("ReadInts accepted implausible length")
+	}
+	if _, _, err := ReadFloat64s([]byte{3, 0, 0}); err == nil {
+		t.Error("ReadFloat64s accepted short buffer")
+	}
+	if _, _, err := ReadUvarint(nil); err == nil {
+		t.Error("ReadUvarint accepted empty buffer")
+	}
+	// Truncated list body.
+	buf := AppendSortedInts(nil, []int{1, 2, 3})
+	if _, _, err := ReadSortedInts(buf[:len(buf)-1]); err == nil {
+		t.Error("ReadSortedInts accepted truncated body")
+	}
+}
+
+func TestMultipleValuesInOneBuffer(t *testing.T) {
+	buf := AppendSortedInts(nil, []int{1, 5, 9})
+	buf = AppendFloat64s(buf, []float64{2.5})
+	buf = AppendUvarint(buf, 42)
+
+	ints, buf, err := ReadSortedInts(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floats, buf, err := ReadFloat64s(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, buf, err := ReadUvarint(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 0 || x != 42 || floats[0] != 2.5 || ints[2] != 9 {
+		t.Fatalf("sequential decode mismatch: %v %v %d rest=%d", ints, floats, x, len(buf))
+	}
+}

@@ -1,0 +1,103 @@
+package diskio
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error FaultStore returns when a fault fires.
+var ErrInjected = errors.New("diskio: injected fault")
+
+// FaultStore wraps a Store and fails operations on demand — the repository's
+// failure-injection harness. Faults fire when the operation countdown
+// reaches zero (FailAfter) or when the key matches the predicate (FailKey);
+// both default to never firing. FaultStore is safe for concurrent use to the
+// extent the wrapped store is.
+type FaultStore struct {
+	// Inner is the wrapped store.
+	Inner Store
+	// FailKey, when non-nil, makes any operation on a matching key fail.
+	FailKey func(key string) bool
+
+	remaining atomic.Int64 // -1 = disabled
+	armed     atomic.Bool
+}
+
+// NewFaultStore wraps inner with faults disabled.
+func NewFaultStore(inner Store) *FaultStore {
+	f := &FaultStore{Inner: inner}
+	f.remaining.Store(-1)
+	return f
+}
+
+// FailAfter arms the countdown: the n+1-th subsequent operation fails (n=0
+// fails the next one). Each firing disarms the countdown.
+func (f *FaultStore) FailAfter(n int) {
+	f.remaining.Store(int64(n))
+	f.armed.Store(true)
+}
+
+// DisarmCountdown cancels a pending countdown.
+func (f *FaultStore) DisarmCountdown() {
+	f.armed.Store(false)
+	f.remaining.Store(-1)
+}
+
+func (f *FaultStore) check(key string) error {
+	if f.FailKey != nil && f.FailKey(key) {
+		return ErrInjected
+	}
+	if f.armed.Load() {
+		if f.remaining.Add(-1) < 0 {
+			f.armed.Store(false)
+			return ErrInjected
+		}
+	}
+	return nil
+}
+
+// Put implements Store.
+func (f *FaultStore) Put(key string, data []byte) error {
+	if err := f.check(key); err != nil {
+		return err
+	}
+	return f.Inner.Put(key, data)
+}
+
+// Get implements Store.
+func (f *FaultStore) Get(key string) ([]byte, error) {
+	if err := f.check(key); err != nil {
+		return nil, err
+	}
+	return f.Inner.Get(key)
+}
+
+// Size implements Store.
+func (f *FaultStore) Size(key string) (int64, error) {
+	if err := f.check(key); err != nil {
+		return 0, err
+	}
+	return f.Inner.Size(key)
+}
+
+// Delete implements Store.
+func (f *FaultStore) Delete(key string) error {
+	if err := f.check(key); err != nil {
+		return err
+	}
+	return f.Inner.Delete(key)
+}
+
+// Keys implements Store.
+func (f *FaultStore) Keys(prefix string) ([]string, error) {
+	if err := f.check(prefix); err != nil {
+		return nil, err
+	}
+	return f.Inner.Keys(prefix)
+}
+
+// Stats implements Store.
+func (f *FaultStore) Stats() Stats { return f.Inner.Stats() }
+
+// ResetStats implements Store.
+func (f *FaultStore) ResetStats() { f.Inner.ResetStats() }

@@ -1,0 +1,87 @@
+package diskio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFaultStoreDisabledPassesThrough(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	if err := f.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if n, err := f.Size("k"); err != nil || n != 1 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	keys, err := f.Keys("")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+	if err := f.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Writes != 1 {
+		t.Fatalf("Stats = %+v", f.Stats())
+	}
+	f.ResetStats()
+	if f.Stats().Writes != 0 {
+		t.Fatal("ResetStats did not reset")
+	}
+}
+
+func TestFaultStoreCountdown(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	f.FailAfter(2)
+	if err := f.Put("a", nil); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if err := f.Put("b", nil); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if err := f.Put("c", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 3 err = %v, want injected", err)
+	}
+	// Countdown disarms after firing.
+	if err := f.Put("d", nil); err != nil {
+		t.Fatalf("op 4: %v", err)
+	}
+	f.FailAfter(0)
+	if _, err := f.Get("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("FailAfter(0) err = %v", err)
+	}
+	f.FailAfter(5)
+	f.DisarmCountdown()
+	for i := 0; i < 10; i++ {
+		if err := f.Put("x", nil); err != nil {
+			t.Fatalf("disarmed op %d: %v", i, err)
+		}
+	}
+}
+
+func TestFaultStoreKeyPredicate(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	f.FailKey = func(key string) bool { return strings.HasPrefix(key, "tid/") }
+	if err := f.Put("txblock/1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("tid/1/i1", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tid put err = %v", err)
+	}
+	if _, err := f.Get("tid/1/i1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tid get err = %v", err)
+	}
+	if _, err := f.Size("tid/1/i1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tid size err = %v", err)
+	}
+	if err := f.Delete("tid/1/i1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tid delete err = %v", err)
+	}
+	if _, err := f.Keys("tid/"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tid keys err = %v", err)
+	}
+}

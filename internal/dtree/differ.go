@@ -1,0 +1,101 @@
+package dtree
+
+import (
+	"fmt"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/focus"
+)
+
+// LabeledBlock is one block of labelled records in a systematically
+// evolving classification database.
+type LabeledBlock struct {
+	ID         blockseq.ID
+	Records    []Record
+	NumClasses int
+}
+
+// Differ instantiates FOCUS with decision-tree models: a tree is induced
+// from each block, the greatest common refinement of the two structural
+// components is the overlay of the two leaf partitions (computed implicitly
+// as leaf-id pairs), and the measure of each overlay region is the per-class
+// record distribution. Overlay regions are disjoint, so significance is an
+// exact two-sample chi-square homogeneity test over (region × class) cells.
+type Differ struct {
+	// Tree parameterizes the per-block tree induction.
+	Tree Config
+}
+
+// Deviation implements focus.Differ[*LabeledBlock].
+func (d Differ) Deviation(a, b *LabeledBlock) (focus.Deviation, error) {
+	if len(a.Records) == 0 || len(b.Records) == 0 {
+		return focus.Deviation{}, fmt.Errorf("dtree: cannot compare empty blocks (%d, %d records)",
+			len(a.Records), len(b.Records))
+	}
+	if a.NumClasses != b.NumClasses {
+		return focus.Deviation{}, fmt.Errorf("dtree: class arities differ (%d vs %d)", a.NumClasses, b.NumClasses)
+	}
+	ta, err := Build(a.Records, a.NumClasses, d.Tree)
+	if err != nil {
+		return focus.Deviation{}, err
+	}
+	tb, err := Build(b.Records, b.NumClasses, d.Tree)
+	if err != nil {
+		return focus.Deviation{}, err
+	}
+
+	// The overlay region of a record is (leaf in ta, leaf in tb); cells are
+	// (region, class).
+	cells := ta.NumLeaves() * tb.NumLeaves() * a.NumClasses
+	ha := make([]int, cells)
+	hb := make([]int, cells)
+	fill := func(recs []Record, h []int) error {
+		for _, r := range recs {
+			la, err := ta.Leaf(r.X)
+			if err != nil {
+				return err
+			}
+			lb, err := tb.Leaf(r.X)
+			if err != nil {
+				return err
+			}
+			h[(la*tb.NumLeaves()+lb)*a.NumClasses+r.Y]++
+		}
+		return nil
+	}
+	if err := fill(a.Records, ha); err != nil {
+		return focus.Deviation{}, err
+	}
+	if err := fill(b.Records, hb); err != nil {
+		return focus.Deviation{}, err
+	}
+
+	// Total variation distance over the (region × class) measures.
+	var score float64
+	regions := 0
+	na, nb := float64(len(a.Records)), float64(len(b.Records))
+	for i := range ha {
+		if ha[i] == 0 && hb[i] == 0 {
+			continue
+		}
+		regions++
+		pa := float64(ha[i]) / na
+		pb := float64(hb[i]) / nb
+		if pa > pb {
+			score += pa - pb
+		} else {
+			score += pb - pa
+		}
+	}
+	score /= 2
+
+	stat, df, err := focus.TwoSampleChiSquare(ha, hb)
+	if err != nil {
+		return focus.Deviation{}, err
+	}
+	p, err := focus.ChiSquareSurvival(stat, df)
+	if err != nil {
+		return focus.Deviation{}, err
+	}
+	return focus.Deviation{Score: score, PValue: p, Regions: regions}, nil
+}

@@ -1,0 +1,278 @@
+// Package dtree implements a binary decision-tree classifier over numeric
+// attributes — the third model class the FOCUS deviation framework of the
+// DEMON paper can be instantiated with ("frequent itemsets, decision tree
+// classifiers, and clusters", Section 4). The tree's structural component is
+// its leaf partition of the attribute space; the measure component is the
+// per-class record distribution in each region. The greatest common
+// refinement of two trees is the overlay of their partitions, computed
+// implicitly by descending both trees per record.
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Record is one labelled training example.
+type Record struct {
+	// X holds the numeric attribute values.
+	X []float64
+	// Y is the class label in [0, NumClasses).
+	Y int
+}
+
+// Config parameterizes tree construction.
+type Config struct {
+	// MaxDepth bounds the tree height (root has depth 0). Defaults to 8.
+	MaxDepth int
+	// MinLeaf is the minimum number of records per leaf. Defaults to 5.
+	MinLeaf int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 5
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MaxDepth < 1 {
+		return fmt.Errorf("dtree: max depth %d < 1", c.MaxDepth)
+	}
+	if c.MinLeaf < 1 {
+		return fmt.Errorf("dtree: min leaf %d < 1", c.MinLeaf)
+	}
+	return nil
+}
+
+// Tree is a trained classifier.
+type Tree struct {
+	root       *node
+	dim        int
+	numClasses int
+	numLeaves  int
+}
+
+type node struct {
+	// attr/threshold define the split "x[attr] <= threshold"; leaf nodes
+	// have attr == -1.
+	attr      int
+	threshold float64
+	left      *node
+	right     *node
+	// leafID numbers leaves densely; class is the majority label.
+	leafID int
+	class  int
+	counts []int
+}
+
+// Build trains a tree by greedy Gini-impurity splits.
+func Build(records []Record, numClasses int, cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dtree: no training records")
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("dtree: %d classes < 2", numClasses)
+	}
+	dim := len(records[0].X)
+	for i, r := range records {
+		if len(r.X) != dim {
+			return nil, fmt.Errorf("dtree: record %d has %d attributes, want %d", i, len(r.X), dim)
+		}
+		if r.Y < 0 || r.Y >= numClasses {
+			return nil, fmt.Errorf("dtree: record %d has label %d outside [0, %d)", i, r.Y, numClasses)
+		}
+	}
+	t := &Tree{dim: dim, numClasses: numClasses}
+	idx := make([]int, len(records))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(records, idx, 0, cfg)
+	t.assignLeafIDs()
+	return t, nil
+}
+
+func classCounts(records []Record, idx []int, numClasses int) []int {
+	counts := make([]int, numClasses)
+	for _, i := range idx {
+		counts[records[i].Y]++
+	}
+	return counts
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func majority(counts []int) int {
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func pure(counts []int) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+func (t *Tree) build(records []Record, idx []int, depth int, cfg Config) *node {
+	counts := classCounts(records, idx, t.numClasses)
+	leaf := &node{attr: -1, class: majority(counts), counts: counts}
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pure(counts) {
+		return leaf
+	}
+
+	// Take the best candidate split even when it does not reduce impurity:
+	// problems like XOR have zero first-split gain, and the purity /
+	// MinLeaf / MaxDepth guards still bound growth.
+	bestAttr, bestThr := -1, 0.0
+	bestScore := math.Inf(1)
+	for attr := 0; attr < t.dim; attr++ {
+		// Sort indices by the attribute; scan split points between
+		// distinct values.
+		order := make([]int, len(idx))
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool {
+			return records[order[a]].X[attr] < records[order[b]].X[attr]
+		})
+		leftCounts := make([]int, t.numClasses)
+		for pos := 0; pos < len(order)-1; pos++ {
+			leftCounts[records[order[pos]].Y]++
+			nl := pos + 1
+			nr := len(order) - nl
+			if nl < cfg.MinLeaf || nr < cfg.MinLeaf {
+				continue
+			}
+			v, next := records[order[pos]].X[attr], records[order[pos+1]].X[attr]
+			if v == next {
+				continue
+			}
+			rightCounts := make([]int, t.numClasses)
+			for c := range rightCounts {
+				rightCounts[c] = counts[c] - leftCounts[c]
+			}
+			score := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(len(order))
+			if score < bestScore-1e-12 {
+				bestAttr, bestThr, bestScore = attr, (v+next)/2, score
+			}
+		}
+	}
+	if bestAttr < 0 {
+		return leaf
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if records[i].X[bestAttr] <= bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	return &node{
+		attr:      bestAttr,
+		threshold: bestThr,
+		left:      t.build(records, leftIdx, depth+1, cfg),
+		right:     t.build(records, rightIdx, depth+1, cfg),
+		counts:    counts,
+	}
+}
+
+func (t *Tree) assignLeafIDs() {
+	id := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.attr < 0 {
+			n.leafID = id
+			id++
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	t.numLeaves = id
+}
+
+// NumLeaves returns the number of leaf regions.
+func (t *Tree) NumLeaves() int { return t.numLeaves }
+
+// NumClasses returns the label arity the tree was trained with.
+func (t *Tree) NumClasses() int { return t.numClasses }
+
+// Leaf returns the leaf region id the point falls into.
+func (t *Tree) Leaf(x []float64) (int, error) {
+	if len(x) != t.dim {
+		return 0, fmt.Errorf("dtree: point dimension %d, tree dimension %d", len(x), t.dim)
+	}
+	n := t.root
+	for n.attr >= 0 {
+		if x[n.attr] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.leafID, nil
+}
+
+// Predict returns the majority class of the point's leaf.
+func (t *Tree) Predict(x []float64) (int, error) {
+	if len(x) != t.dim {
+		return 0, fmt.Errorf("dtree: point dimension %d, tree dimension %d", len(x), t.dim)
+	}
+	n := t.root
+	for n.attr >= 0 {
+		if x[n.attr] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class, nil
+}
+
+// Accuracy returns the fraction of records the tree classifies correctly.
+func (t *Tree) Accuracy(records []Record) (float64, error) {
+	if len(records) == 0 {
+		return 0, fmt.Errorf("dtree: no records")
+	}
+	hits := 0
+	for _, r := range records {
+		c, err := t.Predict(r.X)
+		if err != nil {
+			return 0, err
+		}
+		if c == r.Y {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(records)), nil
+}

@@ -1,0 +1,52 @@
+// Package focus implements the FOCUS deviation framework (Ganti, Gehrke,
+// Ramakrishnan, Loh, PODS 1999) that Section 4 of the DEMON paper
+// instantiates for pattern detection: a model has a structural component
+// (its "interesting regions") and a measure component (a summary of the data
+// mapped to each region); the deviation between two datasets is the
+// aggregate of the measure differences over the greatest common refinement
+// of their two models' structural components, and the statistical
+// significance of the deviation is the probability that both datasets were
+// drawn from the same underlying process.
+//
+// Two instantiations are provided, matching the classes the DEMON
+// experiments use: frequent itemset models over transaction blocks and
+// cluster models over point blocks.
+package focus
+
+import "fmt"
+
+// Deviation is the result of comparing two blocks through a model class.
+type Deviation struct {
+	// Score is the deviation value δ: the normalized aggregate of measure
+	// differences over the common structural component. Zero means the
+	// induced models agree exactly; larger is more different.
+	Score float64
+	// PValue is the probability of observing a deviation at least this
+	// large if both blocks were drawn from the same process. Small values
+	// mean the blocks differ significantly.
+	PValue float64
+	// Regions is the size of the greatest common refinement the measures
+	// were compared over.
+	Regions int
+}
+
+// Differ computes deviations between two blocks of type B. Implementations
+// must be deterministic and symmetric up to numerical noise.
+type Differ[B any] interface {
+	Deviation(a, b B) (Deviation, error)
+}
+
+// Similar reports whether two blocks are M-similar at significance level α
+// per Definition 4.1: the deviation between them is *not* statistically
+// significant at level α, i.e. the same-process hypothesis survives.
+// α must lie in (0, 1); typical values are 0.01–0.05.
+func Similar[B any](d Differ[B], a, b B, alpha float64) (bool, Deviation, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return false, Deviation{}, fmt.Errorf("focus: significance level %v outside (0, 1)", alpha)
+	}
+	dev, err := d.Deviation(a, b)
+	if err != nil {
+		return false, Deviation{}, err
+	}
+	return dev.PValue >= alpha, dev, nil
+}

@@ -1,0 +1,199 @@
+package focus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Classic critical values: P(X ≤ x) for chi-square.
+	tests := []struct {
+		x    float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.95},
+		{6.635, 1, 0.99},
+		{5.991, 2, 0.95},
+		{18.307, 10, 0.95},
+		{2.706, 1, 0.90},
+		{23.209, 10, 0.99},
+	}
+	for _, tc := range tests {
+		got, err := ChiSquareCDF(tc.x, tc.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 2e-4 {
+			t.Errorf("ChiSquareCDF(%v, %d) = %v, want %v", tc.x, tc.df, got, tc.want)
+		}
+	}
+}
+
+func TestChiSquareCDFEdges(t *testing.T) {
+	if got, _ := ChiSquareCDF(0, 3); got != 0 {
+		t.Fatalf("CDF(0) = %v", got)
+	}
+	if got, _ := ChiSquareCDF(-5, 3); got != 0 {
+		t.Fatalf("CDF(-5) = %v", got)
+	}
+	if got, _ := ChiSquareCDF(1e6, 3); got < 0.999999 {
+		t.Fatalf("CDF(1e6) = %v", got)
+	}
+	if _, err := ChiSquareCDF(1, 0); err == nil {
+		t.Fatal("accepted df = 0")
+	}
+}
+
+func TestChiSquareSurvival(t *testing.T) {
+	cdf, _ := ChiSquareCDF(4.2, 3)
+	sf, _ := ChiSquareSurvival(4.2, 3)
+	if math.Abs(cdf+sf-1) > 1e-12 {
+		t.Fatalf("CDF + survival = %v", cdf+sf)
+	}
+}
+
+func TestRegularizedGammaPMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 20; x += 0.5 {
+		got, err := regularizedGammaP(2.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Fatalf("P(2.5, %v) = %v not monotone (prev %v)", x, got, prev)
+		}
+		if got < 0 || got > 1 {
+			t.Fatalf("P(2.5, %v) = %v outside [0,1]", x, got)
+		}
+		prev = got
+	}
+}
+
+func TestRegularizedGammaPKnown(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.1, 1, 2.5, 7} {
+		got, err := regularizedGammaP(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("P(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	if _, err := regularizedGammaP(0, 1); err == nil {
+		t.Fatal("accepted a = 0")
+	}
+	if _, err := regularizedGammaP(1, -1); err == nil {
+		t.Fatal("accepted x < 0")
+	}
+}
+
+func TestTwoSampleChiSquareIdentical(t *testing.T) {
+	h := []int{50, 30, 20}
+	stat, df, err := TwoSampleChiSquare(h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 {
+		t.Fatalf("identical histograms stat = %v", stat)
+	}
+	if df != 2 {
+		t.Fatalf("df = %d, want 2", df)
+	}
+}
+
+func TestTwoSampleChiSquareDifferent(t *testing.T) {
+	stat, df, err := TwoSampleChiSquare([]int{90, 10}, []int{10, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df != 1 {
+		t.Fatalf("df = %d", df)
+	}
+	p, err := ChiSquareSurvival(stat, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("opposite histograms p = %v, want tiny", p)
+	}
+}
+
+func TestTwoSampleChiSquareSkipsEmptyRegions(t *testing.T) {
+	_, df, err := TwoSampleChiSquare([]int{50, 0, 50}, []int{40, 0, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df != 1 {
+		t.Fatalf("df = %d, want 1 (empty region skipped)", df)
+	}
+}
+
+func TestTwoSampleChiSquareErrors(t *testing.T) {
+	if _, _, err := TwoSampleChiSquare([]int{1}, []int{1, 2}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, _, err := TwoSampleChiSquare([]int{-1, 2}, []int{1, 2}); err == nil {
+		t.Error("accepted negative count")
+	}
+	if _, _, err := TwoSampleChiSquare([]int{0, 0}, []int{1, 2}); err == nil {
+		t.Error("accepted empty sample")
+	}
+}
+
+// Property: p-values stay in [0, 1] and the CDF is monotone in x for random
+// degrees of freedom.
+func TestChiSquareProperties(t *testing.T) {
+	for df := 1; df <= 30; df += 3 {
+		prev := -1.0
+		for x := 0.0; x < 80; x += 2.5 {
+			cdf, err := ChiSquareCDF(x, df)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cdf < 0 || cdf > 1 {
+				t.Fatalf("CDF(%v, %d) = %v outside [0,1]", x, df, cdf)
+			}
+			if cdf < prev-1e-12 {
+				t.Fatalf("CDF(%v, %d) = %v not monotone (prev %v)", x, df, cdf, prev)
+			}
+			prev = cdf
+			sf, err := ChiSquareSurvival(x, df)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sf < 0 || sf > 1 {
+				t.Fatalf("survival(%v, %d) = %v outside [0,1]", x, df, sf)
+			}
+		}
+	}
+}
+
+// Property: the two-sample chi-square statistic is symmetric in its
+// arguments and zero only for proportionally identical histograms.
+func TestTwoSampleChiSquareSymmetry(t *testing.T) {
+	h1 := []int{40, 25, 35, 0, 10}
+	h2 := []int{22, 31, 17, 3, 2}
+	s12, d12, err := TwoSampleChiSquare(h1, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s21, d21, err := TwoSampleChiSquare(h2, h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s12-s21) > 1e-9 || d12 != d21 {
+		t.Fatalf("asymmetric: %v/%d vs %v/%d", s12, d12, s21, d21)
+	}
+	// Proportionally identical histograms (h and 2h) score zero.
+	h3 := []int{80, 50, 70, 0, 20}
+	s, _, err := TwoSampleChiSquare(h1, h3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s) > 1e-9 {
+		t.Fatalf("proportional histograms stat = %v", s)
+	}
+}

@@ -1,0 +1,218 @@
+// Package fup implements the FUP algorithm of Cheung, Han, Ng and Wong
+// (ICDE 1996), the first incremental frequent-itemset maintenance algorithm
+// and the baseline the BORDERS algorithm improves on (Section 6 of the DEMON
+// paper). FUP proceeds level-wise like Apriori: at each level it first
+// settles the fate of the previously frequent k-itemsets using a scan of the
+// increment only, then generates candidate new k-itemsets and counts the
+// survivors against the old database — so unlike BORDERS it may rescan the
+// entire old database once per level.
+//
+// It is provided as a comparison baseline; the repository's ablation benches
+// measure BORDERS's advantage (fewer full scans) directly against it.
+package fup
+
+import (
+	"fmt"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// Model is the FUP-maintained model: the frequent itemsets with exact
+// counts over the covered blocks. FUP does not maintain a negative border —
+// that is exactly the structural improvement BORDERS added.
+type Model struct {
+	N          int
+	MinSupport float64
+	Frequent   map[itemset.Key]int
+	Blocks     []blockseq.ID
+}
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		N:          m.N,
+		MinSupport: m.MinSupport,
+		Frequent:   make(map[itemset.Key]int, len(m.Frequent)),
+		Blocks:     append([]blockseq.ID(nil), m.Blocks...),
+	}
+	for k, v := range m.Frequent {
+		c.Frequent[k] = v
+	}
+	return c
+}
+
+// Maintainer drives FUP maintenance. The old database is read through the
+// BlockStore; statistics record how often it had to be rescanned.
+type Maintainer struct {
+	Store      *itemset.BlockStore
+	MinSupport float64
+}
+
+// Stats reports the work one AddBlock performed.
+type Stats struct {
+	// IncrementScans counts scans of the new block (one per level).
+	IncrementScans int
+	// OldDBScans counts full scans of the old database (FUP's cost driver;
+	// BORDERS needs at most one).
+	OldDBScans int
+	// CandidatesCounted is the number of candidates counted against the
+	// old database.
+	CandidatesCounted int
+}
+
+// Empty returns a model over no blocks.
+func (mt *Maintainer) Empty() *Model {
+	return &Model{MinSupport: mt.MinSupport, Frequent: make(map[itemset.Key]int)}
+}
+
+// AddBlock updates the model with one new block, level by level:
+//
+//  1. Winners/losers among the old frequent k-itemsets are decided by
+//     scanning only the increment (their old counts are known).
+//  2. Candidate new k-itemsets are generated from the level's surviving
+//     frequent sets, pruned by the Apriori property and by the observation
+//     that a candidate not frequent *within the increment alone* relative
+//     to the increment size cannot have become frequent overall unless it
+//     was frequent before (which is excluded by construction).
+//  3. Survivors are counted against the old database — one full scan per
+//     level with any survivors.
+func (mt *Maintainer) AddBlock(m *Model, blk *itemset.TxBlock) (Stats, error) {
+	var st Stats
+	oldBlocks := append([]blockseq.ID(nil), m.Blocks...)
+	oldN := m.N
+	newN := oldN + len(blk.Txs)
+	minCount := itemset.MinCount(newN, m.MinSupport)
+	incMinCount := itemset.MinCount(len(blk.Txs), m.MinSupport)
+
+	// Level-wise loop. `prevFrequent` holds the (k-1)-itemsets frequent on
+	// the updated database; level 1 starts from all items.
+	newFrequent := make(map[itemset.Key]int)
+	var prevLevel []itemset.Itemset
+
+	for k := 1; ; k++ {
+		// Old frequent k-itemsets: update their counts with the increment.
+		var oldK []itemset.Itemset
+		for key := range m.Frequent {
+			if x := key.Itemset(); len(x) == k {
+				oldK = append(oldK, x)
+			}
+		}
+		itemset.SortItemsets(oldK)
+
+		incCounts := make(map[itemset.Key]int)
+		if len(oldK) > 0 {
+			tree := itemset.NewPrefixTree(oldK)
+			for _, tx := range blk.Txs {
+				tree.CountTx(tx)
+			}
+			st.IncrementScans++
+			incCounts = tree.Counts()
+		}
+		levelFrequent := make(map[itemset.Key]int)
+		for _, x := range oldK {
+			key := x.Key()
+			total := m.Frequent[key] + incCounts[key]
+			if total >= minCount {
+				levelFrequent[key] = total
+			}
+		}
+
+		// Candidate new k-itemsets. Level 1 candidates are the increment's
+		// items that were not frequent before; deeper levels come from the
+		// prefix join of the previous level's frequent sets.
+		var cands []itemset.Itemset
+		if k == 1 {
+			seen := make(map[itemset.Item]bool)
+			for _, tx := range blk.Txs {
+				for _, it := range tx.Items {
+					seen[it] = true
+				}
+			}
+			st.IncrementScans++
+			for it := range seen {
+				x := itemset.Itemset{it}
+				if _, old := m.Frequent[x.Key()]; !old {
+					cands = append(cands, x)
+				}
+			}
+			itemset.SortItemsets(cands)
+		} else {
+			freqKeys := make(map[itemset.Key]bool, len(prevLevel))
+			for _, x := range prevLevel {
+				freqKeys[x.Key()] = true
+			}
+			for _, c := range itemset.PruneByFrequent(itemset.PrefixJoin(prevLevel), freqKeys) {
+				if _, old := m.Frequent[c.Key()]; !old {
+					cands = append(cands, c)
+				}
+			}
+		}
+
+		// FUP pruning: a brand-new itemset must be frequent within the
+		// increment itself, otherwise its overall support cannot have
+		// crossed the threshold.
+		if len(cands) > 0 {
+			tree := itemset.NewPrefixTree(cands)
+			for _, tx := range blk.Txs {
+				tree.CountTx(tx)
+			}
+			st.IncrementScans++
+			counts := tree.Counts()
+			survivors := cands[:0]
+			survivorInc := make(map[itemset.Key]int)
+			for _, c := range cands {
+				if counts[c.Key()] >= incMinCount {
+					survivors = append(survivors, c)
+					survivorInc[c.Key()] = counts[c.Key()]
+				}
+			}
+			cands = survivors
+
+			// Count survivors against the old database (one full scan).
+			if len(cands) > 0 && oldN > 0 {
+				oldTree := itemset.NewPrefixTree(cands)
+				err := mt.Store.ForEachTx(oldBlocks, func(tx itemset.Transaction) error {
+					oldTree.CountTx(tx)
+					return nil
+				})
+				if err != nil {
+					return st, fmt.Errorf("fup: scanning old database at level %d: %w", k, err)
+				}
+				st.OldDBScans++
+				st.CandidatesCounted += len(cands)
+				oldCounts := oldTree.Counts()
+				for _, c := range cands {
+					key := c.Key()
+					total := oldCounts[key] + survivorInc[key]
+					if total >= minCount {
+						levelFrequent[key] = total
+					}
+				}
+			} else if oldN == 0 {
+				st.CandidatesCounted += len(cands)
+				for _, c := range cands {
+					key := c.Key()
+					if survivorInc[key] >= minCount {
+						levelFrequent[key] = survivorInc[key]
+					}
+				}
+			}
+		}
+
+		if len(levelFrequent) == 0 {
+			break
+		}
+		prevLevel = prevLevel[:0]
+		for key, c := range levelFrequent {
+			newFrequent[key] = c
+			prevLevel = append(prevLevel, key.Itemset())
+		}
+		itemset.SortItemsets(prevLevel)
+	}
+
+	m.Frequent = newFrequent
+	m.N = newN
+	m.Blocks = append(m.Blocks, blk.ID)
+	return st, nil
+}

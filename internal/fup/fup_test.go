@@ -1,0 +1,168 @@
+package fup
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+func randomBlock(rng *rand.Rand, id blockseq.ID, firstTID, n, universe, avgLen int) *itemset.TxBlock {
+	rows := make([][]itemset.Item, n)
+	for i := range rows {
+		m := 1 + rng.Intn(2*avgLen)
+		rows[i] = make([]itemset.Item, m)
+		for j := range rows[i] {
+			rows[i][j] = itemset.Item(rng.Intn(universe))
+		}
+	}
+	return itemset.NewTxBlock(id, firstTID, rows)
+}
+
+// TestFUPMatchesApriori: FUP's frequent sets (with counts) must equal the
+// from-scratch Apriori result after every block.
+func TestFUPMatchesApriori(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 4; trial++ {
+		minsup := []float64{0.05, 0.1, 0.2, 0.3}[trial]
+		bs := itemset.NewBlockStore(diskio.NewMemStore())
+		mt := &Maintainer{Store: bs, MinSupport: minsup}
+		m := mt.Empty()
+		var all []itemset.Transaction
+		tid := 0
+		for step := 0; step < 4; step++ {
+			n := 30 + rng.Intn(40)
+			blk := randomBlock(rng, blockseq.ID(step+1), tid, n, 12, 4)
+			tid += n
+			if err := bs.Put(blk); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mt.AddBlock(m, blk); err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, blk.Txs...)
+
+			want, err := itemset.Apriori(itemset.SliceSource(all), nil, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Frequent) != len(want.Frequent) {
+				t.Fatalf("trial %d step %d: |L| = %d, want %d",
+					trial, step, len(m.Frequent), len(want.Frequent))
+			}
+			for k, c := range want.Frequent {
+				if m.Frequent[k] != c {
+					t.Fatalf("trial %d step %d: count(%v) = %d, want %d",
+						trial, step, k.Itemset(), m.Frequent[k], c)
+				}
+			}
+			if m.N != want.N {
+				t.Fatalf("N = %d, want %d", m.N, want.N)
+			}
+		}
+	}
+}
+
+func TestFUPStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bs := itemset.NewBlockStore(diskio.NewMemStore())
+	mt := &Maintainer{Store: bs, MinSupport: 0.1}
+	m := mt.Empty()
+
+	blk1 := randomBlock(rng, 1, 0, 100, 10, 4)
+	if err := bs.Put(blk1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := mt.AddBlock(m, blk1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bootstrapping never scans the (empty) old database.
+	if st.OldDBScans != 0 {
+		t.Fatalf("bootstrap old-DB scans = %d", st.OldDBScans)
+	}
+	if st.CandidatesCounted == 0 || st.IncrementScans == 0 {
+		t.Fatalf("bootstrap stats = %+v", st)
+	}
+
+	// Adding an identical block: no new itemsets, so no old-DB scans.
+	blk2 := itemset.NewTxBlock(2, blk1.Len(), nil)
+	blk2.Txs = append(blk2.Txs, blk1.Txs...)
+	if err := bs.Put(blk2); err != nil {
+		t.Fatal(err)
+	}
+	st, err = mt.AddBlock(m, blk2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OldDBScans != 0 {
+		t.Fatalf("identical block old-DB scans = %d, want 0", st.OldDBScans)
+	}
+
+	// A block with brand-new heavy itemsets forces old-DB scans, one per
+	// affected level.
+	rows := make([][]itemset.Item, 100)
+	for i := range rows {
+		rows[i] = []itemset.Item{100, 101, 102}
+	}
+	blk3 := itemset.NewTxBlock(3, blk1.Len()*2, rows)
+	if err := bs.Put(blk3); err != nil {
+		t.Fatal(err)
+	}
+	st, err = mt.AddBlock(m, blk3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OldDBScans == 0 {
+		t.Fatal("new heavy itemsets did not trigger an old-DB scan")
+	}
+}
+
+func TestFUPClone(t *testing.T) {
+	mt := &Maintainer{Store: itemset.NewBlockStore(diskio.NewMemStore()), MinSupport: 0.1}
+	m := mt.Empty()
+	m.Frequent[itemset.NewItemset(1).Key()] = 5
+	m.Blocks = []blockseq.ID{1}
+	m.N = 10
+	c := m.Clone()
+	c.Frequent[itemset.NewItemset(1).Key()] = 99
+	c.Blocks[0] = 7
+	if m.Frequent[itemset.NewItemset(1).Key()] != 5 || m.Blocks[0] != 1 {
+		t.Fatal("Clone shares state")
+	}
+}
+
+// TestFUPBoundaryCounts exercises exact-threshold boundaries where the
+// increment-pruning inequality is tight.
+func TestFUPBoundaryCounts(t *testing.T) {
+	// κ = 0.5. Old DB: 4 tx, {7} appears once (not frequent, 1 < 2). New
+	// block: 4 tx, {7} appears 3 times. Overall 4/8 = exactly 0.5 →
+	// frequent. FUP must not prune it: increment count 3 ≥ incMinCount 2.
+	bs := itemset.NewBlockStore(diskio.NewMemStore())
+	mt := &Maintainer{Store: bs, MinSupport: 0.5}
+	m := mt.Empty()
+
+	blk1 := itemset.NewTxBlock(1, 0, [][]itemset.Item{{1}, {1}, {1, 7}, {1}})
+	if err := bs.Put(blk1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.AddBlock(m, blk1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Frequent[itemset.NewItemset(7).Key()]; ok {
+		t.Fatal("{7} frequent too early")
+	}
+
+	blk2 := itemset.NewTxBlock(2, 4, [][]itemset.Item{{7}, {7}, {7, 1}, {2}})
+	if err := bs.Put(blk2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.AddBlock(m, blk2); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Frequent[itemset.NewItemset(7).Key()]; c != 4 {
+		t.Fatalf("{7} count = %d, want 4", c)
+	}
+}

@@ -1,0 +1,226 @@
+// Package gemm implements GEMM, the GEneric Model Maintainer of Section 3.2
+// of the DEMON paper: given any incremental model-maintenance algorithm A_M
+// for the unrestricted window option, GEMM derives maintenance for the most
+// recent window option under both window-independent and window-relative
+// block selection sequences by simultaneously evolving one model per future
+// window overlapping the current one (Algorithm 3.1).
+package gemm
+
+import (
+	"fmt"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+)
+
+// Maintainer is the abstraction of the paper's A_M: it can create an empty
+// model and update a model with one block. Models must be independent — GEMM
+// holds w of them and updates each separately. M may be a pointer type whose
+// Add mutates in place and returns the same pointer.
+type Maintainer[B, M any] interface {
+	// Empty returns a model over no data.
+	Empty() M
+	// Add returns the model updated with the block.
+	Add(m M, blk B) (M, error)
+}
+
+// Kind selects the BSS flavour a GEMM instance follows.
+type Kind int
+
+const (
+	// WindowIndependent follows a window-independent BSS: bits are attached
+	// to absolute block identifiers and the per-model sequences are
+	// k-projections (Section 3.2.1).
+	WindowIndependent Kind = iota
+	// WindowRelative follows a window-relative BSS: bits are attached to
+	// window positions, move with the window, and the per-model sequences
+	// are k-right-shifts (Section 3.2.2).
+	WindowRelative
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case WindowIndependent:
+		return "window-independent"
+	case WindowRelative:
+		return "window-relative"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// GEMM maintains the collection of w models for the most recent window of
+// size w. Slot 0 holds the model of the current window; slot j holds the
+// model extracted from the overlap between the current window and the future
+// window starting j blocks later.
+//
+// During warm-up (fewer than w blocks seen) the window degenerates to
+// D[1, t]; for window-relative sequences the bits are right-aligned with the
+// window end, i.e. block t always sits at position w.
+type GEMM[B, M any] struct {
+	am     Maintainer[B, M]
+	w      int
+	kind   Kind
+	bss    blockseq.BSS          // window-independent
+	rel    blockseq.WindowRelBSS // window-relative
+	models []M                   // length w; slot 0 = current
+	t      blockseq.ID
+	broken error
+}
+
+// NewWindowIndependent creates a GEMM following a window-independent BSS.
+func NewWindowIndependent[B, M any](am Maintainer[B, M], w int, bss blockseq.BSS) (*GEMM[B, M], error) {
+	if w < 1 {
+		return nil, fmt.Errorf("gemm: window size %d < 1", w)
+	}
+	if bss == nil {
+		return nil, fmt.Errorf("gemm: nil BSS")
+	}
+	g := &GEMM[B, M]{am: am, w: w, kind: WindowIndependent, bss: bss}
+	g.models = make([]M, w)
+	for i := range g.models {
+		g.models[i] = am.Empty()
+	}
+	return g, nil
+}
+
+// NewWindowRelative creates a GEMM following a window-relative BSS of length
+// w.
+func NewWindowRelative[B, M any](am Maintainer[B, M], rel blockseq.WindowRelBSS) (*GEMM[B, M], error) {
+	w := rel.Len()
+	if w < 1 {
+		return nil, fmt.Errorf("gemm: window-relative BSS is empty")
+	}
+	g := &GEMM[B, M]{am: am, w: w, kind: WindowRelative, rel: rel}
+	g.models = make([]M, w)
+	for i := range g.models {
+		g.models[i] = am.Empty()
+	}
+	return g, nil
+}
+
+// Kind returns the BSS flavour.
+func (g *GEMM[B, M]) Kind() Kind { return g.kind }
+
+// WindowSize returns w.
+func (g *GEMM[B, M]) WindowSize() int { return g.w }
+
+// T returns the identifier of the latest block seen.
+func (g *GEMM[B, M]) T() blockseq.ID { return g.t }
+
+// Window returns the current most recent window.
+func (g *GEMM[B, M]) Window() blockseq.Window {
+	return blockseq.Snapshot{T: g.t}.MostRecent(g.w)
+}
+
+// Current returns the model of the current window with respect to the BSS —
+// the m(D[t-w+1, t], b) the analyst asked for.
+func (g *GEMM[B, M]) Current() M { return g.models[0] }
+
+// bitFor returns whether the new block id is selected for the model in slot
+// j after the shift (i.e. for the window starting j blocks after the new
+// current window's start).
+func (g *GEMM[B, M]) bitFor(slot int, id blockseq.ID) bool {
+	switch g.kind {
+	case WindowIndependent:
+		// The k-projection never zeroes the newest position, so the bit is
+		// the block's own bit for every slot.
+		return g.bss.Bit(id)
+	case WindowRelative:
+		// After the shift, slot j's window ends (w-1-j) blocks after id, so
+		// id sits at position w-j.
+		return g.rel.BitAt(g.w - slot)
+	default:
+		panic("gemm: unknown kind")
+	}
+}
+
+// AddBlock performs the GAMMA-Update step of Algorithm 3.1: the expiring
+// current model is dropped, every remaining model shifts one slot and is
+// updated with the new block when its (projected or right-shifted) sequence
+// selects it, and a fresh model for the newest future window is started.
+//
+// id must be exactly T()+1. If any A_M update fails, the collection is left
+// inconsistent and the GEMM instance refuses further use.
+func (g *GEMM[B, M]) AddBlock(blk B, id blockseq.ID) error {
+	if g.broken != nil {
+		return fmt.Errorf("gemm: maintainer is broken by a previous error: %w", g.broken)
+	}
+	if id != g.t+1 {
+		return fmt.Errorf("gemm: block %d out of order, expected %d", id, g.t+1)
+	}
+
+	// Shift: slot j+1 becomes slot j; a fresh model enters the last slot.
+	next := make([]M, g.w)
+	copy(next, g.models[1:])
+	next[g.w-1] = g.am.Empty()
+
+	for j := 0; j < g.w; j++ {
+		if !g.bitFor(j, id) {
+			continue
+		}
+		m, err := g.am.Add(next[j], blk)
+		if err != nil {
+			g.broken = err
+			return fmt.Errorf("gemm: updating slot %d with block %d: %w", j, id, err)
+		}
+		next[j] = m
+	}
+	g.models = next
+	g.t = id
+	return nil
+}
+
+// Slots returns the maintained models; index 0 is the current window's
+// model and index j the model of the future window starting j blocks later.
+// The slice is a copy; the models themselves are shared.
+func (g *GEMM[B, M]) Slots() []M {
+	out := make([]M, len(g.models))
+	copy(out, g.models)
+	return out
+}
+
+// RestoreState replaces the collection of models and the latest block
+// identifier — the counterpart of Slots for resuming from a checkpoint. The
+// number of models must equal the window size, and a maintainer broken by a
+// previous error is repaired by restoring.
+func (g *GEMM[B, M]) RestoreState(models []M, t blockseq.ID) error {
+	if len(models) != g.w {
+		return fmt.Errorf("gemm: restoring %d models into window of size %d", len(models), g.w)
+	}
+	if t < 0 {
+		return fmt.Errorf("gemm: negative block id %d", t)
+	}
+	g.models = make([]M, g.w)
+	copy(g.models, models)
+	g.t = t
+	g.broken = nil
+	return nil
+}
+
+// DistinctModels returns how many of the w maintained models are necessarily
+// distinct given the BSS — the paper notes that slots whose sequences
+// coincide hold identical models (e.g. the second and third models in the
+// Section 3.2.1 example). It is a reporting aid; GEMM stores all w slots.
+func (g *GEMM[B, M]) DistinctModels() int {
+	seqs := make([]string, g.w)
+	base := g.t - blockseq.ID(g.w) + 1
+	for k := 0; k < g.w; k++ {
+		switch g.kind {
+		case WindowIndependent:
+			if base < 1 {
+				// During warm-up projections are not yet meaningful; report
+				// conservatively.
+				return g.w
+			}
+			seqs[k] = blockseq.Project(g.bss, base, g.w, k).String()
+		case WindowRelative:
+			seqs[k] = g.rel.RightShift(k).String()
+		}
+	}
+	distinct := make(map[string]bool, g.w)
+	for _, s := range seqs {
+		distinct[s] = true
+	}
+	return len(distinct)
+}

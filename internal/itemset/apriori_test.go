@@ -1,0 +1,259 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveLattice enumerates all subsets up to maxLen of the universe by brute
+// force and classifies them into frequent / negative border.
+func naiveLattice(txs []Transaction, universe []Item, minsup float64) *Lattice {
+	l := NewLattice(minsup)
+	l.N = len(txs)
+	minCount := MinCount(len(txs), minsup)
+
+	count := func(x Itemset) int {
+		c := 0
+		for _, tx := range txs {
+			if tx.Contains(x) {
+				c++
+			}
+		}
+		return c
+	}
+
+	// Enumerate subsets level by level so subsets are classified before
+	// supersets.
+	level := make([]Itemset, 0, len(universe))
+	for _, it := range universe {
+		level = append(level, Itemset{it})
+	}
+	for len(level) > 0 {
+		var next []Itemset
+		for _, x := range level {
+			// Skip if any proper subset is not frequent (then x is neither
+			// frequent nor on the border).
+			allSubsFreq := true
+			for i := range x {
+				if len(x) == 1 {
+					break
+				}
+				if _, ok := l.Frequent[x.Without(i).Key()]; !ok {
+					allSubsFreq = false
+					break
+				}
+			}
+			if !allSubsFreq {
+				continue
+			}
+			c := count(x)
+			if c >= minCount {
+				l.Frequent[x.Key()] = c
+				// Extend by every larger item.
+				for _, it := range universe {
+					if len(x) > 0 && it > x[len(x)-1] {
+						next = append(next, append(x.Clone(), it))
+					}
+				}
+			} else {
+				l.Border[x.Key()] = c
+			}
+		}
+		// Dedup next level.
+		seen := make(map[Key]bool)
+		dedup := next[:0]
+		for _, x := range next {
+			if !seen[x.Key()] {
+				seen[x.Key()] = true
+				dedup = append(dedup, x)
+			}
+		}
+		level = dedup
+	}
+	return l
+}
+
+func latticesEqual(t *testing.T, got, want *Lattice) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("N = %d, want %d", got.N, want.N)
+	}
+	if len(got.Frequent) != len(want.Frequent) {
+		t.Fatalf("|L| = %d, want %d\n got: %v\nwant: %v",
+			len(got.Frequent), len(want.Frequent), got.FrequentSets(), want.FrequentSets())
+	}
+	for k, c := range want.Frequent {
+		if got.Frequent[k] != c {
+			t.Fatalf("frequent %v count = %d, want %d", k.Itemset(), got.Frequent[k], c)
+		}
+	}
+	if len(got.Border) != len(want.Border) {
+		t.Fatalf("|NB| = %d, want %d\n got: %v\nwant: %v",
+			len(got.Border), len(want.Border), got.BorderSets(), want.BorderSets())
+	}
+	for k, c := range want.Border {
+		gc, ok := got.Border[k]
+		if !ok || gc != c {
+			t.Fatalf("border %v count = %d (present %v), want %d", k.Itemset(), gc, ok, c)
+		}
+	}
+}
+
+func TestAprioriSmallHandChecked(t *testing.T) {
+	// 4 transactions, κ = 0.5 → minCount 2.
+	txs := []Transaction{
+		{TID: 0, Items: NewItemset(1, 2, 3)},
+		{TID: 1, Items: NewItemset(1, 2)},
+		{TID: 2, Items: NewItemset(1, 3)},
+		{TID: 3, Items: NewItemset(4)},
+	}
+	universe := []Item{1, 2, 3, 4}
+	l, err := Apriori(SliceSource(txs), universe, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFreq := map[string]int{"{1}": 3, "{2}": 2, "{3}": 2, "{1, 2}": 2, "{1, 3}": 2}
+	if len(l.Frequent) != len(wantFreq) {
+		t.Fatalf("frequent = %v", l.FrequentSets())
+	}
+	for s, c := range wantFreq {
+		found := false
+		for k, gc := range l.Frequent {
+			if k.Itemset().String() == s {
+				found = true
+				if gc != c {
+					t.Errorf("support(%s) = %d, want %d", s, gc, c)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("missing frequent itemset %s", s)
+		}
+	}
+	// Border: {4} (count 1), {2,3} (count 1); {1,2,3} not on border since
+	// {2,3} is infrequent.
+	wantBorder := map[string]int{"{4}": 1, "{2, 3}": 1}
+	if len(l.Border) != len(wantBorder) {
+		t.Fatalf("border = %v", l.BorderSets())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAprioriMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	universe := make([]Item, 12)
+	for i := range universe {
+		universe[i] = Item(i)
+	}
+	for trial := 0; trial < 10; trial++ {
+		txs := randomTxs(rng, 80, len(universe), 4)
+		minsup := 0.05 + rng.Float64()*0.4
+		got, err := Apriori(SliceSource(txs), universe, minsup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveLattice(txs, universe, minsup)
+		latticesEqual(t, got, want)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestAprioriUnseenUniverseItemsEnterBorder(t *testing.T) {
+	txs := []Transaction{{TID: 0, Items: NewItemset(1)}}
+	l, err := Apriori(SliceSource(txs), []Item{1, 2, 3}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range []Item{2, 3} {
+		if c, ok := l.Border[NewItemset(it).Key()]; !ok || c != 0 {
+			t.Errorf("item %d: border count %d present=%v, want 0 present", it, c, ok)
+		}
+	}
+}
+
+func TestAprioriRejectsBadSupport(t *testing.T) {
+	for _, k := range []float64{0, 1, -0.5, 2} {
+		if _, err := Apriori(SliceSource(nil), nil, k); err == nil {
+			t.Errorf("Apriori accepted κ = %v", k)
+		}
+	}
+}
+
+func TestLatticeSupport(t *testing.T) {
+	txs := []Transaction{
+		{TID: 0, Items: NewItemset(1, 2)},
+		{TID: 1, Items: NewItemset(1)},
+	}
+	l, err := Apriori(SliceSource(txs), []Item{1, 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := l.Support(NewItemset(1)); !ok || s != 1.0 {
+		t.Fatalf("Support({1}) = %v, %v", s, ok)
+	}
+	if s, ok := l.Support(NewItemset(1, 2)); !ok || s != 0.5 {
+		t.Fatalf("Support({1,2}) = %v, %v", s, ok)
+	}
+	if _, ok := l.Support(NewItemset(9)); ok {
+		t.Fatal("Support of untracked itemset reported ok")
+	}
+}
+
+func TestLatticeClone(t *testing.T) {
+	l := NewLattice(0.1)
+	l.N = 5
+	l.Frequent[NewItemset(1).Key()] = 3
+	l.Border[NewItemset(2).Key()] = 0
+	c := l.Clone()
+	c.Frequent[NewItemset(1).Key()] = 99
+	c.N = 7
+	if l.Frequent[NewItemset(1).Key()] != 3 || l.N != 5 {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	l := NewLattice(0.5)
+	l.N = 4
+	l.Frequent[NewItemset(1).Key()] = 1 // below minCount 2
+	if err := l.Validate(); err == nil {
+		t.Fatal("Validate accepted under-supported frequent itemset")
+	}
+
+	l = NewLattice(0.5)
+	l.N = 4
+	l.Border[NewItemset(1).Key()] = 3 // above threshold
+	if err := l.Validate(); err == nil {
+		t.Fatal("Validate accepted over-supported border itemset")
+	}
+
+	l = NewLattice(0.5)
+	l.N = 4
+	l.Frequent[NewItemset(1, 2).Key()] = 2 // subsets missing
+	if err := l.Validate(); err == nil {
+		t.Fatal("Validate accepted frequent itemset with missing subsets")
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	tests := []struct {
+		n    int
+		k    float64
+		want int
+	}{
+		{100, 0.01, 1},
+		{100, 0.015, 2},
+		{1000, 0.01, 10},
+		{0, 0.5, 1},
+		{10, 0.001, 1}, // never below 1
+	}
+	for _, tc := range tests {
+		if got := MinCount(tc.n, tc.k); got != tc.want {
+			t.Errorf("MinCount(%d, %v) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package itemset
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/demon-mining/demon/internal/diskio"
+)
+
+// Encode serializes the lattice: N, κ, pass count, then the frequent and
+// border maps as (itemset, count) pairs in deterministic order. The format
+// supports the paper's Section 3.2.3 design point that all but the current
+// window model live on disk, and lets a miner checkpoint and resume.
+func (l *Lattice) Encode() []byte {
+	buf := diskio.AppendUvarint(nil, uint64(l.N))
+	buf = diskio.AppendUvarint(buf, math.Float64bits(l.MinSupport))
+	buf = diskio.AppendUvarint(buf, uint64(l.Passes))
+	buf = appendCountMap(buf, l.Frequent)
+	buf = appendCountMap(buf, l.Border)
+	return buf
+}
+
+func appendCountMap(buf []byte, m map[Key]int) []byte {
+	buf = diskio.AppendUvarint(buf, uint64(len(m)))
+	sets := make([]Itemset, 0, len(m))
+	for k := range m {
+		sets = append(sets, k.Itemset())
+	}
+	SortItemsets(sets)
+	ints := make([]int, 0, 8)
+	for _, x := range sets {
+		ints = ints[:0]
+		for _, it := range x {
+			ints = append(ints, int(it))
+		}
+		buf = diskio.AppendSortedInts(buf, ints)
+		buf = diskio.AppendUvarint(buf, uint64(m[x.Key()]))
+	}
+	return buf
+}
+
+// DecodeLattice reverses Lattice.Encode, returning the lattice and any
+// trailing bytes.
+func DecodeLattice(data []byte) (*Lattice, []byte, error) {
+	n, data, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("itemset: decoding lattice N: %w", err)
+	}
+	bits, data, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("itemset: decoding lattice κ: %w", err)
+	}
+	passes, data, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("itemset: decoding lattice passes: %w", err)
+	}
+	l := NewLattice(math.Float64frombits(bits))
+	l.N = int(n)
+	l.Passes = int(passes)
+	if l.Frequent, data, err = readCountMap(data); err != nil {
+		return nil, nil, fmt.Errorf("itemset: decoding frequent map: %w", err)
+	}
+	if l.Border, data, err = readCountMap(data); err != nil {
+		return nil, nil, fmt.Errorf("itemset: decoding border map: %w", err)
+	}
+	return l, data, nil
+}
+
+func readCountMap(data []byte) (map[Key]int, []byte, error) {
+	n, data, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(data))+1 {
+		return nil, nil, fmt.Errorf("%w: implausible map size %d", diskio.ErrCorrupt, n)
+	}
+	m := make(map[Key]int, n)
+	for i := uint64(0); i < n; i++ {
+		ints, rest, err := diskio.ReadSortedInts(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		count, rest2, err := diskio.ReadUvarint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		data = rest2
+		items := make(Itemset, len(ints))
+		for j, x := range ints {
+			items[j] = Item(x)
+		}
+		m[items.Key()] = int(count)
+	}
+	return m, data, nil
+}

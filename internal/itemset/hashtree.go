@@ -1,0 +1,134 @@
+package itemset
+
+// HashTree is the candidate-counting structure of Agrawal et al. (AMS+96),
+// referenced in footnote 7 of the DEMON paper as the alternative to the
+// prefix tree. Interior nodes hash the next transaction item into a bucket;
+// leaves hold candidate lists until they overflow and split. It is provided
+// so the PT-Scan baseline can be cross-checked against an independent
+// counting structure.
+type HashTree struct {
+	root    *htNode
+	fanout  int
+	leafCap int
+	cands   []Itemset
+	counts  []int
+	visited map[*htNode]bool // reused across CountTx calls
+}
+
+type htNode struct {
+	depth    int
+	children []*htNode // nil for leaves
+	leaf     []int     // candidate indices
+}
+
+// NewHashTree builds a hash tree over the candidates with the given fanout
+// and leaf capacity. fanout and leafCap must be positive; typical values are
+// fanout 8, leafCap 16. Duplicates are collapsed.
+func NewHashTree(cands []Itemset, fanout, leafCap int) *HashTree {
+	if fanout <= 0 || leafCap <= 0 {
+		panic("itemset: HashTree fanout and leafCap must be positive")
+	}
+	t := &HashTree{
+		root:    &htNode{},
+		fanout:  fanout,
+		leafCap: leafCap,
+		visited: make(map[*htNode]bool),
+	}
+	seen := make(map[Key]bool, len(cands))
+	for _, c := range cands {
+		k := c.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		idx := len(t.cands)
+		t.cands = append(t.cands, c)
+		t.counts = append(t.counts, 0)
+		t.insert(t.root, idx)
+	}
+	return t
+}
+
+func (t *HashTree) hash(it Item) int { return int(uint32(it)) % t.fanout }
+
+func (t *HashTree) insert(n *htNode, idx int) {
+	c := t.cands[idx]
+	for n.children != nil {
+		n = n.children[t.hash(c[n.depth])]
+	}
+	n.leaf = append(n.leaf, idx)
+	// Split an overflowing leaf unless the candidates are too short to hash
+	// one level deeper.
+	if len(n.leaf) > t.leafCap && n.depth < len(c) {
+		splittable := true
+		for _, i := range n.leaf {
+			if len(t.cands[i]) <= n.depth {
+				splittable = false
+				break
+			}
+		}
+		if !splittable {
+			return
+		}
+		old := n.leaf
+		n.leaf = nil
+		n.children = make([]*htNode, t.fanout)
+		for b := range n.children {
+			n.children[b] = &htNode{depth: n.depth + 1}
+		}
+		for _, i := range old {
+			t.insert(n.children[t.hash(t.cands[i][n.depth])], i)
+		}
+	}
+}
+
+// Size returns the number of distinct candidates.
+func (t *HashTree) Size() int { return len(t.cands) }
+
+// CountTx increments the count of every candidate contained in tx. A
+// transaction can reach the same leaf along several hash paths, so leaves are
+// deduplicated per call.
+func (t *HashTree) CountTx(tx Transaction) {
+	clear(t.visited)
+	t.count(t.root, tx.Items, tx.Items)
+}
+
+// count descends hashing successive transaction items; at a leaf, candidates
+// are verified against the full transaction (the hash path only guarantees
+// hash equality, not item equality) and each leaf is visited at most once per
+// transaction.
+func (t *HashTree) count(n *htNode, items, full Itemset) {
+	if n.children == nil {
+		if t.visited[n] {
+			return
+		}
+		t.visited[n] = true
+		for _, idx := range n.leaf {
+			if t.cands[idx].SubsetOf(full) {
+				t.counts[idx]++
+			}
+		}
+		return
+	}
+	// At depth d the candidate's d-th item was hashed; try every remaining
+	// transaction item as that position.
+	for i, it := range items {
+		t.count(n.children[t.hash(it)], items[i+1:], full)
+	}
+}
+
+// Counts returns the support count of every candidate, keyed by itemset key.
+func (t *HashTree) Counts() map[Key]int {
+	out := make(map[Key]int, len(t.cands))
+	for i, c := range t.cands {
+		out[c.Key()] = t.counts[i]
+	}
+	return out
+}
+
+// Reset zeroes all candidate counts, keeping the structure.
+func (t *HashTree) Reset() {
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+}

@@ -1,0 +1,57 @@
+package itemset
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+)
+
+// MergeTxBlocks coalesces several blocks into one, preserving transaction
+// order by TID — the Section 2.1 mechanism for hierarchies on the time
+// dimension: "we just merge all blocks that fall under the same parent"
+// (e.g. 24 hourly blocks into one daily block). The merged block takes the
+// given identifier; input blocks must have pairwise distinct identifiers
+// and non-overlapping TID ranges.
+func MergeTxBlocks(id blockseq.ID, blocks ...*TxBlock) (*TxBlock, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("itemset: merging zero blocks")
+	}
+	seen := make(map[blockseq.ID]bool, len(blocks))
+	total := 0
+	for _, b := range blocks {
+		if seen[b.ID] {
+			return nil, fmt.Errorf("itemset: duplicate block %d in merge", b.ID)
+		}
+		seen[b.ID] = true
+		total += len(b.Txs)
+	}
+	ordered := make([]*TxBlock, len(blocks))
+	copy(ordered, blocks)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].FirstTID < ordered[j].FirstTID })
+
+	merged := &TxBlock{ID: id, Txs: make([]Transaction, 0, total)}
+	if total > 0 {
+		merged.FirstTID = ordered[0].FirstTID
+	}
+	prevEnd := -1
+	for _, b := range ordered {
+		if len(b.Txs) == 0 {
+			continue
+		}
+		if b.FirstTID <= prevEnd {
+			return nil, fmt.Errorf("itemset: blocks %v overlap in TID space", ids(blocks))
+		}
+		prevEnd = b.FirstTID + len(b.Txs) - 1
+		merged.Txs = append(merged.Txs, b.Txs...)
+	}
+	return merged, nil
+}
+
+func ids(blocks []*TxBlock) []blockseq.ID {
+	out := make([]blockseq.ID, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.ID
+	}
+	return out
+}

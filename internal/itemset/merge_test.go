@@ -1,0 +1,72 @@
+package itemset
+
+import "testing"
+
+func TestMergeTxBlocks(t *testing.T) {
+	b1 := NewTxBlock(1, 0, [][]Item{{1}, {2}})
+	b2 := NewTxBlock(2, 2, [][]Item{{3}})
+	b3 := NewTxBlock(3, 3, [][]Item{{4}, {5}})
+
+	// Any input order; TID order decides.
+	merged, err := MergeTxBlocks(10, b3, b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.ID != 10 || merged.FirstTID != 0 || merged.Len() != 5 {
+		t.Fatalf("merged header: %+v", merged)
+	}
+	for i, tx := range merged.Txs {
+		if tx.TID != i {
+			t.Fatalf("tx %d has TID %d", i, tx.TID)
+		}
+	}
+	if !merged.Txs[4].Items.Equal(Itemset{5}) {
+		t.Fatalf("last tx = %v", merged.Txs[4].Items)
+	}
+}
+
+func TestMergeTxBlocksSingle(t *testing.T) {
+	b := NewTxBlock(1, 7, [][]Item{{1}})
+	merged, err := MergeTxBlocks(2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.FirstTID != 7 || merged.Len() != 1 {
+		t.Fatalf("merged = %+v", merged)
+	}
+}
+
+func TestMergeTxBlocksErrors(t *testing.T) {
+	if _, err := MergeTxBlocks(1); err == nil {
+		t.Error("accepted zero blocks")
+	}
+	b := NewTxBlock(1, 0, [][]Item{{1}})
+	if _, err := MergeTxBlocks(2, b, b); err == nil {
+		t.Error("accepted duplicate block")
+	}
+	overlapping := NewTxBlock(2, 0, [][]Item{{2}})
+	if _, err := MergeTxBlocks(3, b, overlapping); err == nil {
+		t.Error("accepted overlapping TID ranges")
+	}
+}
+
+// TestMergePreservesLattice: mining the merged block equals mining the
+// parts together — the property that makes time-hierarchy roll-ups sound.
+func TestMergePreservesLattice(t *testing.T) {
+	b1 := NewTxBlock(1, 0, [][]Item{{1, 2}, {1, 2}, {3}})
+	b2 := NewTxBlock(2, 3, [][]Item{{1, 2}, {4}})
+	merged, err := MergeTxBlocks(9, b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMerged, err := Apriori(SliceSource(merged.Txs), nil, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]Transaction{}, b1.Txs...), b2.Txs...)
+	fromParts, err := Apriori(SliceSource(all), nil, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latticesEqual(t, fromMerged, fromParts)
+}

@@ -1,0 +1,100 @@
+package itemset
+
+// PrefixTree is the candidate-counting structure of Mueller (Mue95) used by
+// the BORDERS update phase: candidates are stored along item-ordered paths
+// and one pass over the transactions increments the count of every candidate
+// contained in each transaction. Counting a candidate set this way while
+// scanning the entire selected dataset is what the paper calls PT-Scan.
+type PrefixTree struct {
+	root  ptNode
+	size  int
+	cands []Itemset
+}
+
+type ptNode struct {
+	children map[Item]*ptNode
+	count    int
+	terminal bool
+}
+
+// NewPrefixTree builds a tree over the candidate itemsets. Duplicate
+// candidates are collapsed.
+func NewPrefixTree(cands []Itemset) *PrefixTree {
+	t := &PrefixTree{}
+	for _, c := range cands {
+		if t.insert(c) {
+			t.cands = append(t.cands, c)
+		}
+	}
+	return t
+}
+
+func (t *PrefixTree) insert(c Itemset) bool {
+	n := &t.root
+	for _, it := range c {
+		if n.children == nil {
+			n.children = make(map[Item]*ptNode)
+		}
+		child := n.children[it]
+		if child == nil {
+			child = &ptNode{}
+			n.children[it] = child
+		}
+		n = child
+	}
+	if n.terminal {
+		return false
+	}
+	n.terminal = true
+	t.size++
+	return true
+}
+
+// Size returns the number of distinct candidates in the tree.
+func (t *PrefixTree) Size() int { return t.size }
+
+// CountTx increments the count of every candidate contained in tx.
+func (t *PrefixTree) CountTx(tx Transaction) {
+	countSubsets(&t.root, tx.Items)
+}
+
+func countSubsets(n *ptNode, items Itemset) {
+	if len(n.children) == 0 {
+		return
+	}
+	for i, it := range items {
+		child, ok := n.children[it]
+		if !ok {
+			continue
+		}
+		if child.terminal {
+			child.count++
+		}
+		countSubsets(child, items[i+1:])
+	}
+}
+
+// Counts returns the support count of every candidate, keyed by itemset key.
+func (t *PrefixTree) Counts() map[Key]int {
+	out := make(map[Key]int, t.size)
+	for _, c := range t.cands {
+		n := &t.root
+		for _, it := range c {
+			n = n.children[it]
+		}
+		out[c.Key()] = n.count
+	}
+	return out
+}
+
+// Reset zeroes all candidate counts, keeping the structure.
+func (t *PrefixTree) Reset() {
+	var walk func(n *ptNode)
+	walk = func(n *ptNode) {
+		n.count = 0
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(&t.root)
+}

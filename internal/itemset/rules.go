@@ -1,0 +1,107 @@
+package itemset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rule is an association rule X ⇒ Y (X, Y disjoint, non-empty): customers
+// buying X also buy Y. The DEMON paper's motivating scenarios consume
+// frequent itemsets in this form ("the set of frequent itemsets discovered
+// from the database is used by an analyst to devise marketing strategies").
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	// Support is the fraction of transactions containing X ∪ Y.
+	Support float64
+	// Confidence is σ(X ∪ Y) / σ(X).
+	Confidence float64
+	// Lift is Confidence / σ(Y); values above 1 indicate positive
+	// correlation.
+	Lift float64
+}
+
+// String renders "X => Y (sup 0.10, conf 0.80, lift 1.3)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %.3f, conf %.3f, lift %.2f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// maxRuleItemset bounds subset enumeration; frequent itemsets beyond this
+// size are skipped (2^20 subsets would be pathological anyway).
+const maxRuleItemset = 20
+
+// Rules derives all association rules meeting the confidence threshold from
+// the lattice's frequent itemsets (the rule-generation step of AMS+96). The
+// supports of all antecedents are available in the lattice by downward
+// closure, so no data access is needed. Rules are returned in deterministic
+// order: by descending confidence, then descending support, then
+// antecedent/consequent keys.
+func Rules(l *Lattice, minConf float64) ([]Rule, error) {
+	if minConf <= 0 || minConf > 1 {
+		return nil, fmt.Errorf("itemset: minimum confidence %v outside (0, 1]", minConf)
+	}
+	if l.N == 0 {
+		return nil, nil
+	}
+	var out []Rule
+	n := float64(l.N)
+	for k, zCount := range l.Frequent {
+		z := k.Itemset()
+		if len(z) < 2 {
+			continue
+		}
+		if len(z) > maxRuleItemset {
+			return nil, fmt.Errorf("itemset: frequent itemset %v too large for rule enumeration", z)
+		}
+		support := float64(zCount) / n
+		// Enumerate non-empty proper subsets of z as antecedents.
+		for mask := 1; mask < (1<<len(z))-1; mask++ {
+			ante := make(Itemset, 0, len(z))
+			cons := make(Itemset, 0, len(z))
+			for i, it := range z {
+				if mask&(1<<i) != 0 {
+					ante = append(ante, it)
+				} else {
+					cons = append(cons, it)
+				}
+			}
+			aCount, ok := l.Frequent[ante.Key()]
+			if !ok || aCount == 0 {
+				// Downward closure guarantees presence; a miss means the
+				// lattice is inconsistent.
+				return nil, fmt.Errorf("itemset: lattice misses subset %v of frequent %v", ante, z)
+			}
+			conf := float64(zCount) / float64(aCount)
+			if conf < minConf {
+				continue
+			}
+			cCount, ok := l.Frequent[cons.Key()]
+			if !ok || cCount == 0 {
+				return nil, fmt.Errorf("itemset: lattice misses subset %v of frequent %v", cons, z)
+			}
+			lift := conf / (float64(cCount) / n)
+			out = append(out, Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Support:    support,
+				Confidence: conf,
+				Lift:       lift,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if ka, kb := a.Antecedent.Key(), b.Antecedent.Key(); ka != kb {
+			return ka < kb
+		}
+		return a.Consequent.Key() < b.Consequent.Key()
+	})
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package pattern
+
+import "github.com/demon-mining/demon/internal/blockseq"
+
+// Score rates how informative a set of maximal compact sequences is for a
+// segmentation into numBlocks blocks — the heuristic behind the automatic
+// granularity selection the DEMON paper lists as future work ("develop
+// techniques to automatically determine appropriate levels of granularity").
+//
+// The score is coverage minus fragmentation:
+//
+//   - coverage is the fraction of blocks belonging to at least one
+//     multi-block sequence. A granularity that is too fine produces noisy
+//     blocks that match nothing; one that is too coarse mixes regimes inside
+//     blocks — both depress coverage.
+//   - fragmentation is (#multi-block sequences − 1) / numBlocks: among
+//     segmentations with equal coverage, fewer, longer patterns explain the
+//     data better.
+//
+// Scores lie in (−1, 1]; higher is better. Zero blocks score zero.
+func Score(seqs [][]blockseq.ID, numBlocks int) float64 {
+	if numBlocks <= 0 {
+		return 0
+	}
+	covered := make(map[blockseq.ID]bool)
+	multi := 0
+	for _, s := range seqs {
+		if len(s) < 2 {
+			continue
+		}
+		multi++
+		for _, id := range s {
+			covered[id] = true
+		}
+	}
+	coverage := float64(len(covered)) / float64(numBlocks)
+	fragmentation := 0.0
+	if multi > 1 {
+		fragmentation = float64(multi-1) / float64(numBlocks)
+	}
+	return coverage - fragmentation
+}

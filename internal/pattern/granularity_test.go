@@ -1,0 +1,42 @@
+package pattern
+
+import (
+	"testing"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+)
+
+func TestScore(t *testing.T) {
+	seq := func(ids ...blockseq.ID) []blockseq.ID { return ids }
+
+	tests := []struct {
+		name   string
+		seqs   [][]blockseq.ID
+		blocks int
+		want   float64
+	}{
+		{"empty", nil, 10, 0},
+		{"zero blocks", [][]blockseq.ID{seq(1, 2)}, 0, 0},
+		{"one pattern covers all", [][]blockseq.ID{seq(1, 2, 3, 4)}, 4, 1},
+		{"singletons ignored", [][]blockseq.ID{seq(1), seq(2), seq(3)}, 3, 0},
+		{"half coverage", [][]blockseq.ID{seq(1, 2)}, 4, 0.5},
+		{"two patterns fragment", [][]blockseq.ID{seq(1, 2), seq(3, 4)}, 4, 1 - 0.25},
+		{"overlap counted once", [][]blockseq.ID{seq(1, 2, 3), seq(2, 3)}, 4, 0.75 - 0.25},
+	}
+	for _, tc := range tests {
+		if got := Score(tc.seqs, tc.blocks); got != tc.want {
+			t.Errorf("%s: Score = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestScorePrefersFewLongPatterns: the heuristic must rank one pattern
+// covering everything above many fragments covering the same blocks.
+func TestScorePrefersFewLongPatterns(t *testing.T) {
+	one := [][]blockseq.ID{{1, 2, 3, 4, 5, 6}}
+	three := [][]blockseq.ID{{1, 2}, {3, 4}, {5, 6}}
+	if Score(one, 6) <= Score(three, 6) {
+		t.Fatalf("one long pattern %v not preferred over fragments %v",
+			Score(one, 6), Score(three, 6))
+	}
+}

@@ -1,0 +1,123 @@
+package pointgen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/cf"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	cfg, err := ParseSpec("1M.50c.5d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumPoints != 1_000_000 || cfg.K != 50 || cfg.Dim != 5 {
+		t.Fatalf("ParseSpec = %+v", cfg)
+	}
+	if got := cfg.Spec(); got != "1M.50c.5d" {
+		t.Fatalf("Spec = %q", got)
+	}
+	if _, err := ParseSpec("nope"); err == nil {
+		t.Fatal("ParseSpec accepted garbage")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{NumPoints: 1000, K: 3, Dim: 2, Seed: 5}
+	g1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := g1.Block(1, 100), g2.Block(1, 100)
+	for i := range b1.Points {
+		for d := range b1.Points[i] {
+			if b1.Points[i][d] != b2.Points[i][d] {
+				t.Fatalf("point %d differs between identical generators", i)
+			}
+		}
+	}
+}
+
+func TestPointsClusterAroundCenters(t *testing.T) {
+	g, err := New(Config{NumPoints: 1000, K: 4, Dim: 3, Seed: 6, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := g.Centers()
+	if len(centers) != 4 {
+		t.Fatalf("Centers = %d", len(centers))
+	}
+	b := g.Block(1, 2000)
+	near := 0
+	for _, p := range b.Points {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if d := cf.Distance(p, c); d < best {
+				best = d
+			}
+		}
+		// 5 sigma in 3 dims covers essentially all cluster points.
+		if best < 5*math.Sqrt(3) {
+			near++
+		}
+	}
+	if frac := float64(near) / float64(len(b.Points)); frac < 0.99 {
+		t.Fatalf("only %v of noise-free points near centers", frac)
+	}
+}
+
+func TestNoiseFraction(t *testing.T) {
+	g, err := New(Config{NumPoints: 1000, K: 2, Dim: 2, Seed: 7, Noise: 0.5, Sigma: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := g.Centers()
+	b := g.Block(1, 4000)
+	far := 0
+	for _, p := range b.Points {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if d := cf.Distance(p, c); d < best {
+				best = d
+			}
+		}
+		if best > 1 {
+			far++
+		}
+	}
+	frac := float64(far) / float64(len(b.Points))
+	if frac < 0.40 || frac > 0.60 {
+		t.Fatalf("noise fraction %v, configured 0.5", frac)
+	}
+}
+
+func TestCentersReturnsCopy(t *testing.T) {
+	g, err := New(Config{NumPoints: 10, K: 1, Dim: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Centers()
+	c[0][0] = 12345
+	if g.Centers()[0][0] == 12345 {
+		t.Fatal("Centers aliases internal state")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{K: 0, Dim: 2},
+		{K: 2, Dim: 0},
+		{K: 2, Dim: 2, Noise: 1.0},
+		{K: 2, Dim: 2, Noise: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package proxysim generates a synthetic web proxy trace standing in for the
+// DEC traces the DEMON paper's Section 5.3 experiments use (the original FTP
+// archive is no longer available). The trace preserves the schema — each
+// request carries a timestamp, one of 10 object types, and a response size
+// discretized into 10000-byte buckets — and, more importantly, the temporal
+// similarity structure the paper's findings rest on:
+//
+//   - working days share one joint type×size distribution;
+//   - weekends (and the Labor Day holiday, Monday 9-2-1996) share another;
+//   - late-night hours of working days follow the weekend distribution, so
+//     "late night weekday blocks can be similar to blocks on weekends";
+//   - Monday 9-9-1996 is anomalous: its distribution differs from every
+//     other working day.
+//
+// The trace spans noon 9-2-1996 to midnight 9-22-1996 (the 82 six-hour
+// periods of Figure 10) and is segmented into blocks at 4, 6, 8, 12 or
+// 24-hour granularity, each request becoming a two-item transaction
+// {type, 1000 + size bucket} exactly as the paper models it.
+package proxysim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// NumTypes is the number of object types (gif, jpg, html, ...).
+const NumTypes = 10
+
+// BucketItemBase offsets size-bucket items so they never collide with type
+// items in the transaction item space.
+const BucketItemBase = 1000
+
+// traceStart is noon on Monday, September 2, 1996 (Labor Day) — block 0 of
+// Figure 10 starts here.
+var traceStart = time.Date(1996, time.September, 2, 12, 0, 0, 0, time.UTC)
+
+// traceEnd is midnight at the end of September 22, 1996.
+var traceEnd = time.Date(1996, time.September, 23, 0, 0, 0, 0, time.UTC)
+
+// DayKind classifies a calendar day of the trace.
+type DayKind int
+
+const (
+	// Workday is a regular working day.
+	Workday DayKind = iota
+	// Weekend covers Saturdays, Sundays and the Labor Day holiday.
+	Weekend
+	// Anomalous is Monday 9-9-1996, whose traffic differs from all other
+	// working days.
+	Anomalous
+)
+
+// String names the kind.
+func (k DayKind) String() string {
+	switch k {
+	case Workday:
+		return "workday"
+	case Weekend:
+		return "weekend/holiday"
+	case Anomalous:
+		return "anomalous"
+	default:
+		return fmt.Sprintf("DayKind(%d)", int(k))
+	}
+}
+
+// KindOfDay classifies a date within the trace: weekends and Labor Day
+// (9-2-1996) count as Weekend; 9-9-1996 is Anomalous; everything else is a
+// Workday.
+func KindOfDay(t time.Time) DayKind {
+	if t.Month() == time.September && t.Year() == 1996 {
+		switch t.Day() {
+		case 2:
+			return Weekend // Labor Day
+		case 9:
+			return Anomalous
+		}
+	}
+	switch t.Weekday() {
+	case time.Saturday, time.Sunday:
+		return Weekend
+	default:
+		return Workday
+	}
+}
+
+// Request is one proxy log tuple.
+type Request struct {
+	Time time.Time
+	// Type is the object type in [0, NumTypes).
+	Type int
+	// Bytes is the response size; Bucket() discretizes it.
+	Bytes int
+}
+
+// Bucket returns the 10000-byte size bucket of the response.
+func (r Request) Bucket() int { return r.Bytes / 10000 }
+
+// Config parameterizes the simulator.
+type Config struct {
+	// RequestsPerHour is the base arrival rate during working-day office
+	// hours; other periods scale it down. Defaults to 400.
+	RequestsPerHour int
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestsPerHour == 0 {
+		c.RequestsPerHour = 400
+	}
+	return c
+}
+
+// profile is a joint distribution over (type, size bucket): cumulative
+// weights over a small set of (type, meanBytes) modes.
+type profile struct {
+	modes []mode
+	cum   []float64
+}
+
+type mode struct {
+	typ       int
+	meanBytes float64
+}
+
+func newProfile(modes []mode, weights []float64) profile {
+	p := profile{modes: modes, cum: make([]float64, len(modes))}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		p.cum[i] = acc
+	}
+	p.cum[len(p.cum)-1] = 1
+	return p
+}
+
+func (p profile) draw(rng *rand.Rand) (typ, bytes int) {
+	u := rng.Float64()
+	i := 0
+	for i < len(p.cum)-1 && p.cum[i] < u {
+		i++
+	}
+	m := p.modes[i]
+	// Sizes are exponential around the mode's mean, so buckets concentrate
+	// but tail off realistically.
+	b := int(rng.ExpFloat64() * m.meanBytes)
+	return m.typ, b
+}
+
+// The three traffic profiles. Office traffic is text-heavy with small
+// responses; weekend/night traffic is media-heavy with large responses; the
+// anomaly is dominated by two otherwise-rare types with mid-size responses
+// (e.g. a crawler or a mirror sync).
+var (
+	officeProfile = newProfile(
+		[]mode{{0, 8000}, {1, 15000}, {2, 30000}, {3, 55000}, {4, 5000}},
+		[]float64{0.40, 0.25, 0.15, 0.10, 0.10},
+	)
+	weekendProfile = newProfile(
+		[]mode{{2, 60000}, {3, 90000}, {5, 120000}, {0, 9000}, {6, 40000}},
+		[]float64{0.30, 0.25, 0.20, 0.15, 0.10},
+	)
+	anomalyProfile = newProfile(
+		[]mode{{7, 45000}, {8, 70000}, {9, 20000}, {0, 8000}},
+		[]float64{0.40, 0.30, 0.20, 0.10},
+	)
+)
+
+// profileFor returns the joint distribution in effect at time t. Working
+// days use the office profile between 8:00 and 20:00 and the weekend
+// profile at night; weekends and the holiday use the weekend profile all
+// day; the anomalous Monday uses its own profile during office hours.
+func profileFor(t time.Time) profile {
+	kind := KindOfDay(t)
+	hour := t.Hour()
+	office := hour >= 8 && hour < 20
+	switch kind {
+	case Weekend:
+		return weekendProfile
+	case Anomalous:
+		if office {
+			return anomalyProfile
+		}
+		return weekendProfile
+	default:
+		if office {
+			return officeProfile
+		}
+		return weekendProfile
+	}
+}
+
+// rateFor returns the arrival-rate multiplier at time t.
+func rateFor(t time.Time) float64 {
+	kind := KindOfDay(t)
+	hour := t.Hour()
+	office := hour >= 8 && hour < 20
+	switch {
+	case kind == Workday && office, kind == Anomalous && office:
+		return 1.0
+	case kind == Weekend && office:
+		return 0.6
+	default:
+		return 0.3 // nights
+	}
+}
+
+// Trace is a generated proxy trace.
+type Trace struct {
+	Requests []Request
+}
+
+// Generate builds the full deterministic trace.
+func Generate(cfg Config) *Trace {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var reqs []Request
+	for hour := traceStart; hour.Before(traceEnd); hour = hour.Add(time.Hour) {
+		n := int(float64(cfg.RequestsPerHour) * rateFor(hour))
+		p := profileFor(hour)
+		for i := 0; i < n; i++ {
+			typ, bytes := p.draw(rng)
+			reqs = append(reqs, Request{
+				Time:  hour.Add(time.Duration(rng.Int63n(int64(time.Hour)))),
+				Type:  typ,
+				Bytes: bytes,
+			})
+		}
+	}
+	return &Trace{Requests: reqs}
+}
+
+// Span returns the trace start and end instants.
+func Span() (start, end time.Time) { return traceStart, traceEnd }
+
+// BlockInfo describes one segmented block.
+type BlockInfo struct {
+	ID    blockseq.ID
+	Start time.Time
+	End   time.Time
+	// Kind is the day kind of the block's start instant.
+	Kind DayKind
+}
+
+// Label renders the block period, e.g. "Mon 09-09 12:00-16:00".
+func (b BlockInfo) Label() string {
+	return fmt.Sprintf("%s %02d-%02d %02d:00-%02d:00",
+		b.Start.Weekday().String()[:3], b.Start.Month(), b.Start.Day(),
+		b.Start.Hour(), b.End.Hour())
+}
+
+// Segment splits the trace into blocks of the given granularity (in hours,
+// one of the paper's 4, 6, 8, 12, 24) starting from noon 9-2-1996, turning
+// each request into the two-item transaction {type, 1000+bucket}. Block
+// identifiers start at 1 (Figure 10's block 0 is our block 1).
+func (tr *Trace) Segment(granularityHours int) ([]*itemset.TxBlock, []BlockInfo, error) {
+	if granularityHours < 1 {
+		return nil, nil, fmt.Errorf("proxysim: granularity %d hours < 1", granularityHours)
+	}
+	span := traceEnd.Sub(traceStart)
+	width := time.Duration(granularityHours) * time.Hour
+	numBlocks := int((span + width - 1) / width)
+
+	rows := make([][][]itemset.Item, numBlocks)
+	for _, r := range tr.Requests {
+		idx := int(r.Time.Sub(traceStart) / width)
+		if idx < 0 || idx >= numBlocks {
+			continue
+		}
+		rows[idx] = append(rows[idx], []itemset.Item{
+			itemset.Item(r.Type),
+			itemset.Item(BucketItemBase + r.Bucket()),
+		})
+	}
+
+	blocks := make([]*itemset.TxBlock, numBlocks)
+	infos := make([]BlockInfo, numBlocks)
+	tid := 0
+	for i := range blocks {
+		id := blockseq.ID(i + 1)
+		blocks[i] = itemset.NewTxBlock(id, tid, rows[i])
+		tid += len(rows[i])
+		start := traceStart.Add(time.Duration(i) * width)
+		end := start.Add(width)
+		if end.After(traceEnd) {
+			end = traceEnd
+		}
+		infos[i] = BlockInfo{ID: id, Start: start, End: end, Kind: KindOfDay(start)}
+	}
+	return blocks, infos, nil
+}

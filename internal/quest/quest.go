@@ -1,0 +1,306 @@
+// Package quest implements the synthetic transaction data generator of
+// Agrawal and Srikant (VLDB 1994), which the DEMON paper uses for all
+// frequent-itemset experiments. Datasets are named with the paper's
+// N M.tl L.|I| I.Np pats.p plen notation: N million transactions, average
+// transaction length tl, |I| thousand items, Np thousand potentially large
+// itemsets ("patterns") of average length p.
+package quest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"regexp"
+	"strconv"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// Config parameterizes a generator.
+type Config struct {
+	// NumTx is the nominal number of transactions N (used by the spec
+	// notation; blocks of any size can be drawn regardless).
+	NumTx int
+	// AvgTxLen is the average transaction length tl.
+	AvgTxLen int
+	// NumItems is the item universe size |I|.
+	NumItems int
+	// NumPatterns is the number of potentially large itemsets Np.
+	NumPatterns int
+	// AvgPatternLen is the average pattern length p.
+	AvgPatternLen int
+	// Correlation is the fraction of items a pattern inherits from its
+	// predecessor (exponentially distributed with this mean). Defaults to
+	// the paper's 0.5 when zero.
+	Correlation float64
+	// CorruptionMean/CorruptionSD parameterize the per-pattern corruption
+	// level (normal, clipped to [0,1]). Default 0.5 / 0.1.
+	CorruptionMean float64
+	CorruptionSD   float64
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Correlation == 0 {
+		c.Correlation = 0.5
+	}
+	if c.CorruptionMean == 0 {
+		c.CorruptionMean = 0.5
+	}
+	if c.CorruptionSD == 0 {
+		c.CorruptionSD = 0.1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.AvgTxLen < 1 {
+		return fmt.Errorf("quest: average transaction length %d < 1", c.AvgTxLen)
+	}
+	if c.NumItems < 1 {
+		return fmt.Errorf("quest: item universe %d < 1", c.NumItems)
+	}
+	if c.NumPatterns < 1 {
+		return fmt.Errorf("quest: pattern table size %d < 1", c.NumPatterns)
+	}
+	if c.AvgPatternLen < 1 {
+		return fmt.Errorf("quest: average pattern length %d < 1", c.AvgPatternLen)
+	}
+	return nil
+}
+
+// Spec renders the configuration in the paper's dataset notation, e.g.
+// "2M.20L.1I.4pats.4plen".
+func (c Config) Spec() string {
+	return fmt.Sprintf("%gM.%dL.%gI.%gpats.%dplen",
+		float64(c.NumTx)/1e6, c.AvgTxLen, float64(c.NumItems)/1e3,
+		float64(c.NumPatterns)/1e3, c.AvgPatternLen)
+}
+
+var specRE = regexp.MustCompile(`^([0-9.]+)M\.([0-9]+)L\.([0-9.]+)I\.([0-9.]+)pats\.([0-9]+)plen$`)
+
+// ParseSpec parses the paper's dataset notation into a Config (Seed zero).
+func ParseSpec(s string) (Config, error) {
+	m := specRE.FindStringSubmatch(s)
+	if m == nil {
+		return Config{}, fmt.Errorf("quest: cannot parse dataset spec %q", s)
+	}
+	nm, err1 := strconv.ParseFloat(m[1], 64)
+	tl, err2 := strconv.Atoi(m[2])
+	ni, err3 := strconv.ParseFloat(m[3], 64)
+	np, err4 := strconv.ParseFloat(m[4], 64)
+	pl, err5 := strconv.Atoi(m[5])
+	for _, err := range []error{err1, err2, err3, err4, err5} {
+		if err != nil {
+			return Config{}, fmt.Errorf("quest: cannot parse dataset spec %q: %w", s, err)
+		}
+	}
+	return Config{
+		NumTx:         int(nm * 1e6),
+		AvgTxLen:      tl,
+		NumItems:      int(ni * 1e3),
+		NumPatterns:   int(np * 1e3),
+		AvgPatternLen: pl,
+	}, nil
+}
+
+// pattern is one potentially large itemset with its selection weight and
+// corruption level.
+type pattern struct {
+	items      itemset.Itemset
+	weight     float64
+	corruption float64
+}
+
+// Generator produces transactions one block at a time; consecutive blocks
+// continue the same stream.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	patterns []pattern
+	cum      []float64 // cumulative weights for pattern selection
+	nextTID  int
+}
+
+// New builds a generator: the pattern table is drawn once, transactions are
+// drawn on demand.
+func New(cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.buildPatterns()
+	return g, nil
+}
+
+// buildPatterns draws the table of potentially large itemsets: sizes are
+// Poisson with mean AvgPatternLen (min 1); items are partially inherited
+// from the previous pattern (exp-distributed fraction with mean
+// Correlation); weights are exponential, normalized; corruption levels are
+// clipped normal.
+func (g *Generator) buildPatterns() {
+	cfg := g.cfg
+	g.patterns = make([]pattern, cfg.NumPatterns)
+	var prev itemset.Itemset
+	totalW := 0.0
+	for i := range g.patterns {
+		size := poisson(g.rng, float64(cfg.AvgPatternLen))
+		if size < 1 {
+			size = 1
+		}
+		if size > cfg.NumItems {
+			size = cfg.NumItems
+		}
+		picked := make(map[itemset.Item]bool, size)
+		// Inherit a fraction of the previous pattern's items.
+		if len(prev) > 0 {
+			frac := expClipped(g.rng, cfg.Correlation)
+			inherit := int(frac * float64(size))
+			perm := g.rng.Perm(len(prev))
+			for _, pi := range perm {
+				if len(picked) >= inherit {
+					break
+				}
+				picked[prev[pi]] = true
+			}
+		}
+		for len(picked) < size {
+			picked[itemset.Item(g.rng.Intn(cfg.NumItems))] = true
+		}
+		items := make([]itemset.Item, 0, size)
+		for it := range picked {
+			items = append(items, it)
+		}
+		is := itemset.NewItemset(items...)
+		w := expDist(g.rng, 1.0)
+		c := clip(g.rng.NormFloat64()*cfg.CorruptionSD+cfg.CorruptionMean, 0, 1)
+		g.patterns[i] = pattern{items: is, weight: w, corruption: c}
+		prev = is
+		totalW += w
+	}
+	g.cum = make([]float64, len(g.patterns))
+	acc := 0.0
+	for i, p := range g.patterns {
+		acc += p.weight / totalW
+		g.cum[i] = acc
+	}
+	g.cum[len(g.cum)-1] = 1.0
+}
+
+// pickPattern selects a pattern by weight.
+func (g *Generator) pickPattern() pattern {
+	u := g.rng.Float64()
+	lo, hi := 0, len(g.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return g.patterns[lo]
+}
+
+// transaction draws one transaction of Poisson-mean-AvgTxLen size by packing
+// corrupted patterns, per AS94: a pattern that does not fit is kept anyway
+// in half the cases, otherwise dropped.
+func (g *Generator) transaction() []itemset.Item {
+	size := poisson(g.rng, float64(g.cfg.AvgTxLen))
+	if size < 1 {
+		size = 1
+	}
+	picked := make(map[itemset.Item]bool, size)
+	for len(picked) < size {
+		p := g.pickPattern()
+		// Corrupt: repeatedly drop a random item while a uniform draw stays
+		// below the pattern's corruption level.
+		kept := append(itemset.Itemset(nil), p.items...)
+		for len(kept) > 0 && g.rng.Float64() < p.corruption {
+			i := g.rng.Intn(len(kept))
+			kept[i] = kept[len(kept)-1]
+			kept = kept[:len(kept)-1]
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		if len(picked)+len(kept) > size && g.rng.Intn(2) == 0 {
+			// Does not fit: drop in half the cases.
+			if len(picked) > 0 {
+				break
+			}
+			continue
+		}
+		for _, it := range kept {
+			picked[it] = true
+		}
+	}
+	out := make([]itemset.Item, 0, len(picked))
+	for it := range picked {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Block generates the next n transactions as the block with the given
+// identifier; TIDs continue the generator's stream.
+func (g *Generator) Block(id blockseq.ID, n int) *itemset.TxBlock {
+	rows := make([][]itemset.Item, n)
+	for i := range rows {
+		rows[i] = g.transaction()
+	}
+	b := itemset.NewTxBlock(id, g.nextTID, rows)
+	g.nextTID += n
+	return b
+}
+
+// SetNextTID overrides the TID the next block starts at; used when a second
+// generator with different distribution parameters continues an existing
+// stream (Figures 4–7).
+func (g *Generator) SetNextTID(tid int) { g.nextTID = tid }
+
+// NextTID returns the TID the next generated transaction will receive.
+func (g *Generator) NextTID() int { return g.nextTID }
+
+// poisson draws from a Poisson distribution (Knuth's method for small
+// means, normal approximation for large).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		return int(math.Round(rng.NormFloat64()*math.Sqrt(mean) + mean))
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// expDist draws from an exponential distribution with the given mean.
+func expDist(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// expClipped draws exponential with the given mean, clipped to [0, 1].
+func expClipped(rng *rand.Rand, mean float64) float64 {
+	return clip(expDist(rng, mean), 0, 1)
+}
+
+func clip(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

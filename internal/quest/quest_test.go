@@ -1,0 +1,201 @@
+package quest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+func testConfig() Config {
+	return Config{
+		NumTx:         10000,
+		AvgTxLen:      10,
+		NumItems:      100,
+		NumPatterns:   20,
+		AvgPatternLen: 4,
+		Seed:          1,
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	cfg, err := ParseSpec("2M.20L.1I.4pats.4plen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumTx != 2_000_000 || cfg.AvgTxLen != 20 || cfg.NumItems != 1000 ||
+		cfg.NumPatterns != 4000 || cfg.AvgPatternLen != 4 {
+		t.Fatalf("ParseSpec = %+v", cfg)
+	}
+	if got := cfg.Spec(); got != "2M.20L.1I.4pats.4plen" {
+		t.Fatalf("Spec = %q", got)
+	}
+	if _, err := ParseSpec("garbage"); err == nil {
+		t.Fatal("ParseSpec accepted garbage")
+	}
+	// Fractional sizes parse too (e.g. scaled-down runs).
+	cfg, err = ParseSpec("0.2M.20L.1I.4pats.4plen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumTx != 200_000 {
+		t.Fatalf("fractional NumTx = %d", cfg.NumTx)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := g1.Block(1, 200)
+	b2 := g2.Block(1, 200)
+	if b1.Len() != b2.Len() {
+		t.Fatal("nondeterministic block size")
+	}
+	for i := range b1.Txs {
+		if !b1.Txs[i].Items.Equal(b2.Txs[i].Items) {
+			t.Fatalf("tx %d differs between identical generators", i)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	cfg := testConfig()
+	g1, _ := New(cfg)
+	cfg.Seed = 2
+	g2, _ := New(cfg)
+	b1, b2 := g1.Block(1, 100), g2.Block(1, 100)
+	same := 0
+	for i := range b1.Txs {
+		if b1.Txs[i].Items.Equal(b2.Txs[i].Items) {
+			same++
+		}
+	}
+	if same == len(b1.Txs) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestAverageTransactionLength(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Block(1, 3000)
+	total := 0
+	for _, tx := range b.Txs {
+		if len(tx.Items) == 0 {
+			t.Fatal("generated empty transaction")
+		}
+		total += len(tx.Items)
+	}
+	avg := float64(total) / float64(b.Len())
+	// Packing whole patterns overshoots the Poisson target somewhat; accept
+	// a generous band around the configured mean.
+	if avg < 5 || avg > 18 {
+		t.Fatalf("average transaction length %v, configured 10", avg)
+	}
+}
+
+func TestItemsWithinUniverse(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Block(1, 500)
+	for _, tx := range b.Txs {
+		for _, it := range tx.Items {
+			if it < 0 || int(it) >= 100 {
+				t.Fatalf("item %d outside universe [0, 100)", it)
+			}
+		}
+	}
+}
+
+func TestTIDsContinueAcrossBlocks(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := g.Block(1, 50)
+	b2 := g.Block(2, 70)
+	if b1.FirstTID != 0 || b2.FirstTID != 50 {
+		t.Fatalf("FirstTIDs = %d, %d", b1.FirstTID, b2.FirstTID)
+	}
+	if g.NextTID() != 120 {
+		t.Fatalf("NextTID = %d", g.NextTID())
+	}
+	g.SetNextTID(1000)
+	b3 := g.Block(3, 10)
+	if b3.FirstTID != 1000 {
+		t.Fatalf("after SetNextTID, FirstTID = %d", b3.FirstTID)
+	}
+}
+
+// TestSkewProducesFrequentItemsets: the whole point of the generator is that
+// pattern packing yields frequent itemsets of size > 1 at reasonable
+// thresholds, unlike uniform random data.
+func TestSkewProducesFrequentItemsets(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Block(1, 3000)
+	l, err := itemset.Apriori(itemset.SliceSource(b.Txs), nil, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := 0
+	for k := range l.Frequent {
+		if n := len(k.Itemset()); n > maxLen {
+			maxLen = n
+		}
+	}
+	if maxLen < 2 {
+		t.Fatalf("no frequent itemsets beyond singletons at 2%% support (max len %d)", maxLen)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{AvgTxLen: 0, NumItems: 10, NumPatterns: 5, AvgPatternLen: 2},
+		{AvgTxLen: 5, NumItems: 0, NumPatterns: 5, AvgPatternLen: 2},
+		{AvgTxLen: 5, NumItems: 10, NumPatterns: 0, AvgPatternLen: 2},
+		{AvgTxLen: 5, NumItems: 10, NumPatterns: 5, AvgPatternLen: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, mean := range []float64{0.5, 4, 20, 100} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.05*mean+0.1 {
+			t.Errorf("poisson(%v) sample mean %v", mean, got)
+		}
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("poisson(0) != 0")
+	}
+}
+
+func TestClip(t *testing.T) {
+	if clip(-1, 0, 1) != 0 || clip(2, 0, 1) != 1 || clip(0.5, 0, 1) != 0.5 {
+		t.Fatal("clip misbehaves")
+	}
+}

@@ -1,0 +1,113 @@
+// Package textio reads the plain-text block files the CLI tools exchange:
+// transaction blocks (one transaction per line, space-separated item ids)
+// and point blocks (one point per line, space-separated coordinates).
+package textio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/demon-mining/demon/internal/cf"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// ReadTransactions parses transaction rows from r. Blank lines and lines
+// starting with '#' are skipped.
+func ReadTransactions(r io.Reader) ([][]itemset.Item, error) {
+	var rows [][]itemset.Item
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		row := make([]itemset.Item, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: bad item %q: %w", lineNo, f, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("textio: line %d: negative item %d", lineNo, v)
+			}
+			row = append(row, itemset.Item(v))
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	return rows, nil
+}
+
+// ReadTransactionsFile reads a transaction block file.
+func ReadTransactionsFile(path string) ([][]itemset.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := ReadTransactions(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// ReadPoints parses point rows from r. All points must share one
+// dimensionality. Blank lines and '#' comments are skipped.
+func ReadPoints(r io.Reader) ([]cf.Point, error) {
+	var pts []cf.Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	dim := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if dim < 0 {
+			dim = len(fields)
+		} else if len(fields) != dim {
+			return nil, fmt.Errorf("textio: line %d: %d coordinates, want %d", lineNo, len(fields), dim)
+		}
+		p := make(cf.Point, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: bad coordinate %q: %w", lineNo, f, err)
+			}
+			p[i] = v
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	return pts, nil
+}
+
+// ReadPointsFile reads a point block file.
+func ReadPointsFile(path string) ([]cf.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pts, err := ReadPoints(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pts, nil
+}

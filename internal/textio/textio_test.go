@@ -1,0 +1,80 @@
+package textio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTransactions(t *testing.T) {
+	in := "1 5 9\n\n# comment\n3\n7 7 2\n"
+	rows, err := ReadTransactions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(rows[0]) != 3 || rows[0][2] != 9 {
+		t.Fatalf("row 0 = %v", rows[0])
+	}
+	if len(rows[1]) != 1 || rows[1][0] != 3 {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+}
+
+func TestReadTransactionsErrors(t *testing.T) {
+	if _, err := ReadTransactions(strings.NewReader("1 x 3\n")); err == nil {
+		t.Error("accepted non-numeric item")
+	}
+	if _, err := ReadTransactions(strings.NewReader("-1\n")); err == nil {
+		t.Error("accepted negative item")
+	}
+}
+
+func TestReadPoints(t *testing.T) {
+	in := "1.5 -2.0\n# c\n3 4\n"
+	pts, err := ReadPoints(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0][1] != -2.0 || pts[1][0] != 3 {
+		t.Fatalf("pts = %v", pts)
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	if _, err := ReadPoints(strings.NewReader("1 2\n1 2 3\n")); err == nil {
+		t.Error("accepted ragged dimensions")
+	}
+	if _, err := ReadPoints(strings.NewReader("1 zz\n")); err == nil {
+		t.Error("accepted non-numeric coordinate")
+	}
+}
+
+func TestReadFiles(t *testing.T) {
+	dir := t.TempDir()
+	txPath := filepath.Join(dir, "tx.txt")
+	if err := os.WriteFile(txPath, []byte("1 2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadTransactionsFile(txPath)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("rows=%d err=%v", len(rows), err)
+	}
+	ptPath := filepath.Join(dir, "pt.txt")
+	if err := os.WriteFile(ptPath, []byte("1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ReadPointsFile(ptPath)
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("pts=%d err=%v", len(pts), err)
+	}
+	if _, err := ReadTransactionsFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing tx file accepted")
+	}
+	if _, err := ReadPointsFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing point file accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package tidlist
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// ErrEmptyItemset is returned when a counting request contains the empty
+// itemset, whose support is trivially |D| and never needs counting.
+var ErrEmptyItemset = errors.New("tidlist: cannot count empty itemset")
+
+// CountECUT implements the ECUT support-counting algorithm of Section 3.1.1:
+// the support of X = {i1, ..., ik} over the selected blocks is the summed
+// cardinality of the per-block intersections of the items' TID-lists. Only
+// the TID-lists of the items in X are fetched, which is what makes ECUT fast
+// when the candidate set is small.
+func (s *Store) CountECUT(sets []itemset.Itemset, blocks []blockseq.ID) (map[itemset.Key]int, error) {
+	counts := make(map[itemset.Key]int, len(sets))
+	for _, x := range sets {
+		if len(x) == 0 {
+			return nil, ErrEmptyItemset
+		}
+		counts[x.Key()] = 0
+	}
+	// Per block, fetch each needed item list once and count every itemset;
+	// the additivity property makes per-block counting exact.
+	for _, id := range blocks {
+		cache := make(map[itemset.Item]List)
+		get := func(it itemset.Item) (List, error) {
+			if l, ok := cache[it]; ok {
+				return l, nil
+			}
+			l, err := s.ItemList(id, it)
+			if err != nil {
+				return nil, err
+			}
+			cache[it] = l
+			return l, nil
+		}
+		for _, x := range sets {
+			lists := make([]List, len(x))
+			empty := false
+			for i, it := range x {
+				l, err := get(it)
+				if err != nil {
+					return nil, fmt.Errorf("tidlist: ECUT block %d: %w", id, err)
+				}
+				if len(l) == 0 {
+					empty = true
+					break
+				}
+				lists[i] = l
+			}
+			if empty {
+				continue
+			}
+			counts[x.Key()] += len(IntersectMany(lists))
+		}
+	}
+	return counts, nil
+}
+
+// CountECUTPlus implements ECUT+: like ECUT, but per block the itemset is
+// covered with materialized 2-itemset TID-lists where available, so fewer
+// and shorter lists are intersected. Items not covered by any materialized
+// pair fall back to their single-item lists; correctness follows from
+// X1 ∪ ... ∪ Xk = X (Section 3.1.1).
+func (s *Store) CountECUTPlus(sets []itemset.Itemset, blocks []blockseq.ID) (map[itemset.Key]int, error) {
+	counts := make(map[itemset.Key]int, len(sets))
+	for _, x := range sets {
+		if len(x) == 0 {
+			return nil, ErrEmptyItemset
+		}
+		counts[x.Key()] = 0
+	}
+	for _, id := range blocks {
+		idx, err := s.loadPairIndex(id)
+		if err != nil {
+			return nil, err
+		}
+		itemCache := make(map[itemset.Item]List)
+		pairCache := make(map[itemset.Key]List)
+		for _, x := range sets {
+			lists, err := s.coverLists(id, x, idx, itemCache, pairCache)
+			if err != nil {
+				return nil, fmt.Errorf("tidlist: ECUT+ block %d: %w", id, err)
+			}
+			if lists == nil {
+				continue // some component list empty: zero in this block
+			}
+			counts[x.Key()] += len(IntersectMany(lists))
+		}
+	}
+	return counts, nil
+}
+
+// coverLists assembles the TID-lists covering x in block id: a greedy pair
+// matching over the materialized 2-itemsets, single-item lists for the rest.
+// It returns nil (no error) if any component list is empty.
+func (s *Store) coverLists(id blockseq.ID, x itemset.Itemset, idx map[itemset.Key]bool,
+	itemCache map[itemset.Item]List, pairCache map[itemset.Key]List) ([]List, error) {
+
+	covered := make([]bool, len(x))
+	var lists []List
+	appendList := func(l List) bool {
+		if len(l) == 0 {
+			return false
+		}
+		lists = append(lists, l)
+		return true
+	}
+
+	for i := range x {
+		if covered[i] {
+			continue
+		}
+		matched := false
+		if len(idx) > 0 {
+			for j := i + 1; j < len(x); j++ {
+				if covered[j] {
+					continue
+				}
+				pair := itemset.Itemset{x[i], x[j]}
+				pk := pair.Key()
+				if !idx[pk] {
+					continue
+				}
+				l, ok := pairCache[pk]
+				if !ok {
+					var err error
+					l, _, err = s.PairList(id, pair)
+					if err != nil {
+						return nil, err
+					}
+					pairCache[pk] = l
+				}
+				covered[i], covered[j] = true, true
+				matched = true
+				if !appendList(l) {
+					return nil, nil
+				}
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		l, ok := itemCache[x[i]]
+		if !ok {
+			var err error
+			l, err = s.ItemList(id, x[i])
+			if err != nil {
+				return nil, err
+			}
+			itemCache[x[i]] = l
+		}
+		covered[i] = true
+		if !appendList(l) {
+			return nil, nil
+		}
+	}
+	return lists, nil
+}

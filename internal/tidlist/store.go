@@ -1,0 +1,229 @@
+package tidlist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// Store materializes and serves per-block TID-lists. For every ingested
+// block it holds one list per item (the ECUT organization) and, optionally,
+// lists for a chosen set of 2-itemsets (the ECUT+ materialization). Lists
+// are written once when the block arrives and never modified, per the
+// additivity and 0/1 properties.
+type Store struct {
+	store diskio.Store
+	// pairMu guards pairIndex; the parallel counters read through one Store
+	// concurrently.
+	pairMu sync.Mutex
+	// pairIndex caches, per block, the set of materialized 2-itemset keys.
+	pairIndex map[blockseq.ID]map[itemset.Key]bool
+	// entriesRead counts TIDs decoded from storage, the paper's "amount of
+	// data fetched" cost metric.
+	entriesRead atomic.Int64
+}
+
+// NewStore wraps a diskio.Store.
+func NewStore(store diskio.Store) *Store {
+	return &Store{store: store, pairIndex: make(map[blockseq.ID]map[itemset.Key]bool)}
+}
+
+func itemKey(id blockseq.ID, it itemset.Item) string {
+	return fmt.Sprintf("tid/%08d/i%d", id, it)
+}
+
+func pairKey(id blockseq.ID, pair itemset.Itemset) string {
+	return fmt.Sprintf("tid2/%08d/p%d-%d", id, pair[0], pair[1])
+}
+
+func pairIdxKey(id blockseq.ID) string {
+	return fmt.Sprintf("tid2idx/%08d", id)
+}
+
+// EntriesRead returns the total number of TIDs decoded from storage since
+// the store was created or ResetEntriesRead was called.
+func (s *Store) EntriesRead() int64 { return s.entriesRead.Load() }
+
+// ResetEntriesRead zeroes the entry counter.
+func (s *Store) ResetEntriesRead() { s.entriesRead.Store(0) }
+
+// Materialize builds and persists the TID-list θ_Di(x) of every item
+// occurring in the block. It performs the single scan described in the
+// paper: each transaction's TID is appended to the buffer of each of its
+// items, and buffers are flushed at the end.
+func (s *Store) Materialize(b *itemset.TxBlock) error {
+	buffers := make(map[itemset.Item]List)
+	for _, tx := range b.Txs {
+		for _, it := range tx.Items {
+			buffers[it] = append(buffers[it], tx.TID)
+		}
+	}
+	// Deterministic write order.
+	items := make([]itemset.Item, 0, len(buffers))
+	for it := range buffers {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, it := range items {
+		if err := s.store.Put(itemKey(b.ID, it), diskio.AppendSortedInts(nil, buffers[it])); err != nil {
+			return fmt.Errorf("tidlist: materializing block %d item %d: %w", b.ID, it, err)
+		}
+	}
+	return nil
+}
+
+// MaterializePairs persists TID-lists for 2-itemsets of the block following
+// the ECUT+ heuristic: pairs must be supplied in decreasing overall-support
+// order (the caller ranks the frequent 2-itemsets of the current lattice by
+// σ_D), and materialization stops when the entry budget M (total TIDs
+// stored) would be exceeded. It returns the pairs actually materialized and
+// the number of entries used. A negative budget means unlimited.
+func (s *Store) MaterializePairs(b *itemset.TxBlock, pairs []itemset.Itemset, budget int64) ([]itemset.Itemset, int64, error) {
+	idx := make(map[itemset.Key]bool)
+	var used int64
+	var chosen []itemset.Itemset
+	for _, p := range pairs {
+		if len(p) != 2 {
+			return nil, 0, fmt.Errorf("tidlist: MaterializePairs got %d-itemset %v", len(p), p)
+		}
+		var list List
+		for _, tx := range b.Txs {
+			if tx.Contains(p) {
+				list = append(list, tx.TID)
+			}
+		}
+		if budget >= 0 && used+int64(len(list)) > budget {
+			continue // paper: choose as many as possible, in support order
+		}
+		if err := s.store.Put(pairKey(b.ID, p), diskio.AppendSortedInts(nil, list)); err != nil {
+			return nil, 0, fmt.Errorf("tidlist: materializing pair %v: %w", p, err)
+		}
+		used += int64(len(list))
+		idx[p.Key()] = true
+		chosen = append(chosen, p)
+	}
+	// Persist the pair index so a fresh Store over the same diskio.Store can
+	// discover what is materialized.
+	var enc []byte
+	enc = diskio.AppendUvarint(enc, uint64(len(chosen)))
+	for _, p := range chosen {
+		enc = diskio.AppendUvarint(enc, uint64(p[0]))
+		enc = diskio.AppendUvarint(enc, uint64(p[1]))
+	}
+	if err := s.store.Put(pairIdxKey(b.ID), enc); err != nil {
+		return nil, 0, fmt.Errorf("tidlist: writing pair index: %w", err)
+	}
+	s.pairMu.Lock()
+	s.pairIndex[b.ID] = idx
+	s.pairMu.Unlock()
+	return chosen, used, nil
+}
+
+// loadPairIndex fetches (and caches) the pair index of a block; a missing
+// index means no pairs were materialized.
+func (s *Store) loadPairIndex(id blockseq.ID) (map[itemset.Key]bool, error) {
+	s.pairMu.Lock()
+	defer s.pairMu.Unlock()
+	if idx, ok := s.pairIndex[id]; ok {
+		return idx, nil
+	}
+	idx := make(map[itemset.Key]bool)
+	data, err := s.store.Get(pairIdxKey(id))
+	if err != nil && !errors.Is(err, diskio.ErrNotFound) {
+		return nil, fmt.Errorf("tidlist: pair index of block %d: %w", id, err)
+	}
+	if err == nil {
+		n, rest, derr := diskio.ReadUvarint(data)
+		if derr != nil {
+			return nil, fmt.Errorf("tidlist: pair index of block %d: %w", id, derr)
+		}
+		data = rest
+		for i := uint64(0); i < n; i++ {
+			a, rest, derr := diskio.ReadUvarint(data)
+			if derr != nil {
+				return nil, fmt.Errorf("tidlist: pair index of block %d: %w", id, derr)
+			}
+			b, rest2, derr := diskio.ReadUvarint(rest)
+			if derr != nil {
+				return nil, fmt.Errorf("tidlist: pair index of block %d: %w", id, derr)
+			}
+			data = rest2
+			idx[itemset.NewItemset(itemset.Item(a), itemset.Item(b)).Key()] = true
+		}
+	}
+	s.pairIndex[id] = idx
+	return idx, nil
+}
+
+// ItemList reads θ_Di(x). A list that was never materialized (the item does
+// not occur in the block) is empty, not an error; any other storage failure
+// propagates — silently treating a read fault as an absent item would
+// corrupt counts.
+func (s *Store) ItemList(id blockseq.ID, it itemset.Item) (List, error) {
+	data, err := s.store.Get(itemKey(id, it))
+	if errors.Is(err, diskio.ErrNotFound) {
+		return nil, nil // absent item: empty list
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tidlist: block %d item %d: %w", id, it, err)
+	}
+	ints, _, err := diskio.ReadSortedInts(data)
+	if err != nil {
+		return nil, fmt.Errorf("tidlist: block %d item %d: %w", id, it, err)
+	}
+	s.entriesRead.Add(int64(len(ints)))
+	return List(ints), nil
+}
+
+// PairList reads the materialized list of a 2-itemset, reporting ok=false
+// when that pair was not materialized for the block.
+func (s *Store) PairList(id blockseq.ID, pair itemset.Itemset) (List, bool, error) {
+	idx, err := s.loadPairIndex(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if !idx[pair.Key()] {
+		return nil, false, nil
+	}
+	data, err := s.store.Get(pairKey(id, pair))
+	if err != nil {
+		return nil, false, fmt.Errorf("tidlist: pair %v of block %d: %w", pair, id, err)
+	}
+	ints, _, err := diskio.ReadSortedInts(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("tidlist: pair %v of block %d: %w", pair, id, err)
+	}
+	s.entriesRead.Add(int64(len(ints)))
+	return List(ints), true, nil
+}
+
+// PairEntries returns the total number of TIDs stored in materialized pair
+// lists for the given blocks — the numerator of the Figure 3 space-overhead
+// table.
+func (s *Store) PairEntries(ids []blockseq.ID) (int64, error) {
+	var total int64
+	for _, id := range ids {
+		idx, err := s.loadPairIndex(id)
+		if err != nil {
+			return 0, err
+		}
+		for k := range idx {
+			data, err := s.store.Get(pairKey(id, k.Itemset()))
+			if err != nil {
+				return 0, err
+			}
+			n, _, err := diskio.ReadUvarint(data)
+			if err != nil {
+				return 0, fmt.Errorf("tidlist: pair index entry of block %d: %w", id, err)
+			}
+			total += int64(n)
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,103 @@
+// Package tidlist implements the TID-list substrate of Section 3.1.1 of the
+// DEMON paper: the TID-list θ_D(X) of an itemset X is the sorted list of
+// identifiers of transactions containing X. Two properties of systematic
+// block evolution let the lists be partitioned per block and frozen at block
+// ingestion time — additivity (the support over a window is the sum of
+// per-block supports) and the 0/1 property (a BSS selects whole blocks, never
+// fractions) — and that is exactly what the ECUT and ECUT+ counting
+// strategies exploit.
+package tidlist
+
+import "sort"
+
+// List is a TID-list: transaction identifiers sorted in increasing order.
+type List []int
+
+// Intersect merges two sorted lists, returning their intersection — the
+// merge phase of a sort-merge join, as the paper describes.
+func Intersect(a, b List) List {
+	var out List
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectCount returns |a ∩ b| without materializing the intersection.
+func IntersectCount(a, b List) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// IntersectMany intersects k sorted lists. Lists are processed smallest
+// first so intermediate results shrink as fast as possible. An empty input
+// returns nil (the intersection of zero lists is undefined; callers guard
+// against it). Any empty list short-circuits to nil.
+func IntersectMany(lists []List) List {
+	if len(lists) == 0 {
+		return nil
+	}
+	ordered := make([]List, len(lists))
+	copy(ordered, lists)
+	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
+	acc := ordered[0]
+	if len(acc) == 0 {
+		return nil
+	}
+	for _, l := range ordered[1:] {
+		acc = Intersect(acc, l)
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	// Copy so callers never alias the first input.
+	out := make(List, len(acc))
+	copy(out, acc)
+	return out
+}
+
+// Union merges two sorted lists into their sorted union (used by tests and
+// by model-diff tooling; not on the counting hot path).
+func Union(a, b List) List {
+	out := make(List, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,143 @@
+package tidlist
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedUnique(rng *rand.Rand, n, max int) List {
+	set := make(map[int]bool)
+	for len(set) < n {
+		set[rng.Intn(max)] = true
+	}
+	out := make(List, 0, n)
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func naiveIntersect(a, b List) List {
+	inB := make(map[int]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out List
+	for _, x := range a {
+		if inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a := List{1, 3, 5, 7}
+	b := List{3, 4, 5, 8}
+	got := Intersect(a, b)
+	want := List{3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if got := Intersect(a, nil); got != nil {
+		t.Fatalf("Intersect with empty = %v", got)
+	}
+	if got := IntersectCount(a, b); got != 2 {
+		t.Fatalf("IntersectCount = %d, want 2", got)
+	}
+}
+
+func TestIntersectProperty(t *testing.T) {
+	f := func(seed int64, na, nb uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := sortedUnique(rng, int(na%50), 100)
+		b := sortedUnique(rng, int(nb%50), 100)
+		got := Intersect(a, b)
+		want := naiveIntersect(a, b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return IntersectCount(a, b) == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectMany(t *testing.T) {
+	lists := []List{
+		{1, 2, 3, 4, 5, 6},
+		{2, 4, 6, 8},
+		{4, 6, 10},
+	}
+	got := IntersectMany(lists)
+	want := List{4, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("IntersectMany = %v, want %v", got, want)
+	}
+	if IntersectMany(nil) != nil {
+		t.Fatal("IntersectMany(nil) should be nil")
+	}
+	if got := IntersectMany([]List{{1, 2}}); !reflect.DeepEqual(got, List{1, 2}) {
+		t.Fatalf("IntersectMany single = %v", got)
+	}
+	if got := IntersectMany([]List{{1}, nil, {1}}); got != nil {
+		t.Fatalf("IntersectMany with empty list = %v", got)
+	}
+}
+
+func TestIntersectManyDoesNotAliasInput(t *testing.T) {
+	a := List{1, 2, 3}
+	got := IntersectMany([]List{a})
+	got[0] = 99
+	if a[0] != 1 {
+		t.Fatal("IntersectMany result aliases input")
+	}
+}
+
+// Property: IntersectMany equals folding naive pairwise intersection in any
+// order (intersection is commutative and associative).
+func TestIntersectManyProperty(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(k%4) + 1
+		lists := make([]List, n)
+		for i := range lists {
+			lists[i] = sortedUnique(rng, rng.Intn(30), 60)
+		}
+		want := lists[0]
+		for _, l := range lists[1:] {
+			want = naiveIntersect(want, l)
+		}
+		got := IntersectMany(lists)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	got := Union(List{1, 3, 5}, List{2, 3, 6})
+	want := List{1, 2, 3, 5, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,280 @@
+package demon
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/borders"
+	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/tidlist"
+)
+
+// ItemsetMinerConfig configures an ItemsetMiner.
+type ItemsetMinerConfig struct {
+	// MinSupport is the fractional minimum support κ ∈ (0, 1).
+	MinSupport float64
+	// Strategy selects the update-phase counting procedure (default PTScan).
+	Strategy CountingStrategy
+	// Store persists blocks and TID-lists; defaults to an in-memory store.
+	Store Store
+	// BSS restricts which blocks enter the model (window-independent);
+	// defaults to all blocks. Skipped blocks are still ingested so that a
+	// later threshold change or a second miner can see them.
+	BSS BSS
+	// ECUTPlusBudget caps, per block, the number of TID entries spent on
+	// materialized 2-itemset lists (the M_i of Section 3.1.1). Zero or
+	// negative means unlimited. Ignored unless Strategy is ECUTPlus.
+	ECUTPlusBudget int64
+	// Workers shards update-phase counting across goroutines (blocks are
+	// independent by the additivity property). Zero or one keeps counting
+	// serial; negative selects GOMAXPROCS.
+	Workers int
+}
+
+// MaintenanceReport describes one AddBlock step.
+type MaintenanceReport struct {
+	// Block is the identifier assigned to the added block.
+	Block BlockID
+	// Selected reports whether the BSS selected the block; when false the
+	// model carried over unchanged.
+	Selected bool
+	// Detection and Update are the BORDERS phase times.
+	Detection time.Duration
+	Update    time.Duration
+	// Promoted / Demoted are border promotions and frequent demotions.
+	Promoted, Demoted int
+	// CandidatesCounted is the number of new candidates the update phase
+	// counted.
+	CandidatesCounted int
+	// Ingest is the time spent storing the block and materializing its
+	// TID-lists.
+	Ingest time.Duration
+}
+
+// ItemsetMiner maintains the set of frequent itemsets (and its negative
+// border) over the unrestricted window of a systematically evolving
+// transactional database, using the BORDERS algorithm with the configured
+// counting strategy.
+type ItemsetMiner struct {
+	cfg     ItemsetMinerConfig
+	blocks  *itemset.BlockStore
+	tids    *tidlist.Store
+	mt      *borders.Maintainer
+	model   *borders.Model
+	snap    blockseq.Snapshot
+	totalTx int // all ingested transactions, selected or not (drives TIDs)
+}
+
+// NewItemsetMiner creates a miner over an empty database.
+func NewItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport >= 1 {
+		return nil, fmt.Errorf("demon: minimum support %v outside (0, 1)", cfg.MinSupport)
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.BSS == nil {
+		cfg.BSS = AllBlocks()
+	}
+	m := &ItemsetMiner{
+		cfg:    cfg,
+		blocks: itemset.NewBlockStore(cfg.Store),
+		tids:   tidlist.NewStore(cfg.Store),
+	}
+	counter, err := newCounter(cfg.Strategy, m.blocks, m.tids)
+	if err != nil {
+		return nil, err
+	}
+	counter = parallelize(counter, cfg.Workers)
+	m.mt = &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport}
+	m.model = m.mt.Empty()
+	return m, nil
+}
+
+// parallelize wraps a counter in block-sharded parallel counting when more
+// than one worker is requested.
+func parallelize(c borders.Counter, workers int) borders.Counter {
+	if workers == 0 || workers == 1 {
+		return c
+	}
+	return borders.ParallelCounter{Inner: c, Workers: workers}
+}
+
+func newCounter(s CountingStrategy, bs *itemset.BlockStore, ts *tidlist.Store) (borders.Counter, error) {
+	switch s {
+	case PTScan:
+		return borders.PTScan{Blocks: bs}, nil
+	case HashTree:
+		return borders.HashTreeScan{Blocks: bs}, nil
+	case ECUT:
+		return borders.ECUT{TIDs: ts}, nil
+	case ECUTPlus:
+		return borders.ECUTPlus{TIDs: ts}, nil
+	default:
+		return nil, fmt.Errorf("demon: unknown counting strategy %d", int(s))
+	}
+}
+
+// ingest stores a transaction block and materializes its TID-lists (and,
+// under ECUT+, the TID-lists of the current frequent 2-itemsets, ranked by
+// overall support per the paper's heuristic).
+func ingestTxBlock(blocks *itemset.BlockStore, tids *tidlist.Store, strategy CountingStrategy,
+	budget int64, lat *itemset.Lattice, blk *itemset.TxBlock) error {
+
+	if err := blocks.Put(blk); err != nil {
+		return err
+	}
+	if strategy != ECUT && strategy != ECUTPlus {
+		return nil
+	}
+	if err := tids.Materialize(blk); err != nil {
+		return err
+	}
+	if strategy != ECUTPlus {
+		return nil
+	}
+	pairs := frequent2ItemsetsBySupport(lat)
+	if len(pairs) == 0 {
+		return nil
+	}
+	if budget <= 0 {
+		budget = -1
+	}
+	_, _, err := tids.MaterializePairs(blk, pairs, budget)
+	return err
+}
+
+// frequent2ItemsetsBySupport lists the lattice's frequent 2-itemsets in
+// decreasing support order.
+func frequent2ItemsetsBySupport(l *itemset.Lattice) []itemset.Itemset {
+	type scored struct {
+		set   itemset.Itemset
+		count int
+	}
+	var all []scored
+	for k, c := range l.Frequent {
+		x := k.Itemset()
+		if len(x) == 2 {
+			all = append(all, scored{x, c})
+		}
+	}
+	// Sort by count desc, itemset key asc for determinism.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0; j-- {
+			a, b := all[j-1], all[j]
+			if b.count > a.count || (b.count == a.count && b.set.Key() < a.set.Key()) {
+				all[j-1], all[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	out := make([]itemset.Itemset, len(all))
+	for i, s := range all {
+		out[i] = s.set
+	}
+	return out
+}
+
+// AddBlock appends the next block of transactions to the database and, when
+// the BSS selects it, updates the maintained model. It returns a report of
+// what the maintenance step did.
+func (m *ItemsetMiner) AddBlock(transactions [][]Item) (*MaintenanceReport, error) {
+	snap, id := m.snap.Append()
+	blk := itemset.NewTxBlock(id, m.totalTx, transactions)
+
+	rep := &MaintenanceReport{Block: id}
+	start := time.Now()
+	if err := ingestTxBlock(m.blocks, m.tids, m.cfg.Strategy, m.cfg.ECUTPlusBudget, m.model.Lattice, blk); err != nil {
+		return nil, fmt.Errorf("demon: ingesting block %d: %w", id, err)
+	}
+	rep.Ingest = time.Since(start)
+	m.snap = snap
+	m.totalTx += len(blk.Txs)
+
+	if !m.cfg.BSS.Bit(id) {
+		return rep, nil
+	}
+	rep.Selected = true
+	st, err := m.mt.AddBlock(m.model, blk)
+	if err != nil {
+		return nil, err
+	}
+	rep.Detection = st.Detection
+	rep.Update = st.Update
+	rep.Promoted, rep.Demoted = st.Promoted, st.Demoted
+	rep.CandidatesCounted = st.CandidatesCounted
+	return rep, nil
+}
+
+// DeleteOldestBlock removes the oldest selected block from the model (the
+// AuM option of Section 3.2.4). The block's data remains in the store.
+func (m *ItemsetMiner) DeleteOldestBlock() (*MaintenanceReport, error) {
+	if len(m.model.Blocks) == 0 {
+		return nil, fmt.Errorf("demon: model covers no blocks")
+	}
+	id := m.model.Blocks[0]
+	st, err := m.mt.DeleteBlock(m.model, id)
+	if err != nil {
+		return nil, err
+	}
+	return &MaintenanceReport{
+		Block:             id,
+		Selected:          true,
+		Detection:         st.Detection,
+		Update:            st.Update,
+		Promoted:          st.Promoted,
+		Demoted:           st.Demoted,
+		CandidatesCounted: st.CandidatesCounted,
+	}, nil
+}
+
+// ChangeMinSupport retargets the model to a new threshold κ′: raising is
+// free, lowering triggers the BORDERS update phase.
+func (m *ItemsetMiner) ChangeMinSupport(minsup float64) (*MaintenanceReport, error) {
+	st, err := m.mt.ChangeMinSupport(m.model, minsup)
+	if err != nil {
+		return nil, err
+	}
+	m.cfg.MinSupport = minsup
+	return &MaintenanceReport{
+		Selected:          true,
+		Detection:         st.Detection,
+		Update:            st.Update,
+		Promoted:          st.Promoted,
+		Demoted:           st.Demoted,
+		CandidatesCounted: st.CandidatesCounted,
+	}, nil
+}
+
+// Lattice returns the maintained model (frequent itemsets and negative
+// border with counts). The returned lattice is live; clone before mutating.
+func (m *ItemsetMiner) Lattice() *Lattice { return m.model.Lattice }
+
+// FrequentItemsets lists the frequent itemsets with supports, in
+// deterministic order.
+func (m *ItemsetMiner) FrequentItemsets() []ItemsetSupport {
+	l := m.model.Lattice
+	sets := l.FrequentSets()
+	out := make([]ItemsetSupport, len(sets))
+	for i, x := range sets {
+		c := l.Frequent[x.Key()]
+		out[i] = ItemsetSupport{Itemset: x, Count: c, Support: float64(c) / float64(max(l.N, 1))}
+	}
+	return out
+}
+
+// T returns the identifier of the latest ingested block.
+func (m *ItemsetMiner) T() BlockID { return m.snap.T }
+
+// ModelBlocks returns the identifiers of the blocks the model currently
+// covers (those the BSS selected, minus any deleted).
+func (m *ItemsetMiner) ModelBlocks() []BlockID {
+	out := make([]BlockID, len(m.model.Blocks))
+	copy(out, m.model.Blocks)
+	return out
+}
+
+// Store exposes the underlying store for I/O accounting.
+func (m *ItemsetMiner) Store() Store { return m.cfg.Store }

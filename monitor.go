@@ -1,0 +1,185 @@
+package demon
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/demon-mining/demon/internal/birch"
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/focus"
+	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/pattern"
+)
+
+// MonitorConfig configures a Monitor.
+type MonitorConfig struct {
+	// MinSupport is the threshold the per-block frequent-itemset models are
+	// mined at for the FOCUS deviation (the paper's Section 5.3 uses 1%).
+	MinSupport float64
+	// Alpha is the significance level: two blocks are similar when the
+	// probability that they come from the same process is at least Alpha.
+	Alpha float64
+	// Window optionally restricts detection to the most recent Window
+	// blocks (0 = unrestricted).
+	Window int
+	// Bootstrap switches the significance computation from the parametric
+	// approximation to bootstrap resampling.
+	Bootstrap bool
+	// Resamples is the bootstrap resample count (default 100).
+	Resamples int
+	// Seed drives bootstrap resampling.
+	Seed int64
+}
+
+// MonitorReport describes one Monitor.AddBlock step — the per-block cost
+// plotted in Figure 10.
+type MonitorReport struct {
+	// Block is the identifier assigned to the block.
+	Block BlockID
+	// Deviations is the number of pairwise deviations computed.
+	Deviations int
+	// Elapsed is the total time of the step.
+	Elapsed time.Duration
+	// SimilarTo is how many earlier blocks this block is similar to.
+	SimilarTo int
+	// Extended is how many existing compact sequences the block joined.
+	Extended int
+}
+
+// Monitor discovers compact sequences of similar blocks in an evolving
+// transactional database: the Section 4 pattern-detection algorithm over the
+// FOCUS frequent-itemset deviation.
+type Monitor struct {
+	det  *pattern.Detector[*itemset.TxBlock]
+	snap blockseq.Snapshot
+	next int
+}
+
+// NewMonitor creates a monitor over an empty database.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport >= 1 {
+		return nil, fmt.Errorf("demon: minimum support %v outside (0, 1)", cfg.MinSupport)
+	}
+	mode := focus.Parametric
+	if cfg.Bootstrap {
+		mode = focus.Bootstrap
+	}
+	differ := focus.ItemsetDiffer{
+		MinSupport: cfg.MinSupport,
+		Mode:       mode,
+		Resamples:  cfg.Resamples,
+		Seed:       cfg.Seed,
+	}
+	var opts []pattern.Option[*itemset.TxBlock]
+	if cfg.Window > 0 {
+		opts = append(opts, pattern.WithWindow[*itemset.TxBlock](cfg.Window))
+	}
+	det, err := pattern.New[*itemset.TxBlock](differ, cfg.Alpha, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{det: det}, nil
+}
+
+// AddBlock ingests the next block of transactions and updates the set of
+// compact sequences.
+func (m *Monitor) AddBlock(transactions [][]Item) (*MonitorReport, error) {
+	snap, id := m.snap.Append()
+	blk := itemset.NewTxBlock(id, m.next, transactions)
+	start := time.Now()
+	st, err := m.det.AddBlock(id, blk)
+	if err != nil {
+		return nil, err
+	}
+	m.snap = snap
+	m.next += blk.Len()
+	return &MonitorReport{
+		Block:      id,
+		Deviations: st.Deviations,
+		Elapsed:    time.Since(start),
+		SimilarTo:  st.SimilarTo,
+		Extended:   st.Extended,
+	}, nil
+}
+
+// Patterns returns the maximal compact sequences discovered so far, as
+// lists of block identifiers.
+func (m *Monitor) Patterns() [][]BlockID { return m.det.Maximal() }
+
+// AllSequences returns every maintained compact sequence (one per starting
+// block), including those subsumed by longer ones.
+func (m *Monitor) AllSequences() [][]BlockID { return m.det.Sequences() }
+
+// Similarity returns the cached deviation between two previously added
+// blocks.
+func (m *Monitor) Similarity(a, b BlockID) (score, pValue float64, ok bool) {
+	dev, ok := m.det.Similarity(a, b)
+	return dev.Score, dev.PValue, ok
+}
+
+// CyclicPattern post-processes a compact sequence into its longest cyclic
+// subsequence with the given period, e.g. extracting ⟨D1, D3, D5, D7⟩ from
+// ⟨D1, D3, D4, D5, D7⟩.
+func CyclicPattern(seq []BlockID, period BlockID) []BlockID {
+	return pattern.CyclicSubsequence(seq, period)
+}
+
+// T returns the identifier of the latest ingested block.
+func (m *Monitor) T() BlockID { return m.snap.T }
+
+// ClusterMonitor is Monitor over point blocks, using the FOCUS cluster-model
+// deviation.
+type ClusterMonitor struct {
+	det  *pattern.Detector[*birch.PointBlock]
+	snap blockseq.Snapshot
+}
+
+// ClusterMonitorConfig configures a ClusterMonitor.
+type ClusterMonitorConfig struct {
+	// K is the number of clusters mined from each block.
+	K int
+	// Alpha is the significance level.
+	Alpha float64
+	// Window optionally restricts detection to the most recent blocks.
+	Window int
+}
+
+// NewClusterMonitor creates a monitor over an empty database of point
+// blocks.
+func NewClusterMonitor(cfg ClusterMonitorConfig) (*ClusterMonitor, error) {
+	differ := focus.ClusterDiffer{K: cfg.K}
+	var opts []pattern.Option[*birch.PointBlock]
+	if cfg.Window > 0 {
+		opts = append(opts, pattern.WithWindow[*birch.PointBlock](cfg.Window))
+	}
+	det, err := pattern.New[*birch.PointBlock](differ, cfg.Alpha, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterMonitor{det: det}, nil
+}
+
+// AddBlock ingests the next block of points.
+func (m *ClusterMonitor) AddBlock(points []Point) (*MonitorReport, error) {
+	snap, id := m.snap.Append()
+	blk := &birch.PointBlock{ID: id, Points: points}
+	start := time.Now()
+	st, err := m.det.AddBlock(id, blk)
+	if err != nil {
+		return nil, err
+	}
+	m.snap = snap
+	return &MonitorReport{
+		Block:      id,
+		Deviations: st.Deviations,
+		Elapsed:    time.Since(start),
+		SimilarTo:  st.SimilarTo,
+		Extended:   st.Extended,
+	}, nil
+}
+
+// Patterns returns the maximal compact sequences discovered so far.
+func (m *ClusterMonitor) Patterns() [][]BlockID { return m.det.Maximal() }
+
+// T returns the identifier of the latest ingested block.
+func (m *ClusterMonitor) T() BlockID { return m.snap.T }

@@ -1,0 +1,52 @@
+package demon
+
+import "testing"
+
+func TestSimulatedProxyTrace(t *testing.T) {
+	blocks, err := SimulatedProxyTrace(24, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 21 {
+		t.Fatalf("blocks = %d, want 21 days", len(blocks))
+	}
+	var weekend, anomalous int
+	for _, b := range blocks {
+		if len(b.Transactions) == 0 {
+			t.Fatalf("block %q empty", b.Label)
+		}
+		if b.Label == "" {
+			t.Fatal("unlabelled block")
+		}
+		if b.Weekend {
+			weekend++
+		}
+		if b.Anomalous {
+			anomalous++
+		}
+	}
+	if anomalous != 1 {
+		t.Fatalf("anomalous blocks = %d, want 1", anomalous)
+	}
+	// Labor Day + 3 weekends × 2 days = 7 weekend-kind day starts.
+	if weekend != 7 {
+		t.Fatalf("weekend blocks = %d, want 7", weekend)
+	}
+	// The blocks drive a Monitor through the public API end to end.
+	m, err := NewMonitor(MonitorConfig{MinSupport: 0.01, Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks[:6] {
+		if _, err := m.AddBlock(b.Transactions); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(m.Patterns()) == 0 {
+		t.Fatal("no patterns over the first week")
+	}
+
+	if _, err := SimulatedProxyTrace(0, 50, 1); err == nil {
+		t.Fatal("accepted zero granularity")
+	}
+}
