@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fmt vet clean
+.PHONY: all build test race cover bench check experiments examples fmt vet clean
 
 all: build test
 
@@ -17,6 +17,11 @@ race:
 
 cover:
 	$(GO) test -cover ./...
+
+# The CI gate: static analysis plus the full suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # One testing.B benchmark per paper table/figure (see bench_test.go).
 bench:

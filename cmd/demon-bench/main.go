@@ -5,12 +5,18 @@
 //
 //	demon-bench -exp all -scale 0.1
 //	demon-bench -exp fig2,fig8 -scale 1.0 -seed 7
+//	demon-bench -exp all -json bench.json -metrics-out metrics.json
 //
 // Experiments: fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
 // gemm (GEMM vs AuM), ecutplus (pair-budget sweep), kappa (threshold
 // change), fup (FUP vs BORDERS), granularity (automatic block-granularity
 // selection). Dataset sizes scale with -scale; 1.0 reproduces the paper's
 // sizes, the default 0.1 runs on a laptop.
+//
+// -json writes a machine-readable artifact with every experiment's rows and
+// its per-experiment instrumentation delta (per-phase timings, per-strategy
+// byte counters); -metrics-out writes the cumulative registry snapshot on
+// exit; -pprof-addr serves /metricsz and /debug/pprof while running.
 package main
 
 import (
@@ -20,12 +26,16 @@ import (
 	"strings"
 
 	"github.com/demon-mining/demon/internal/bench"
+	"github.com/demon-mining/demon/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments (fig2..fig10, gemm, ecutplus, kappa) or 'all'")
 	scale := flag.Float64("scale", 0.1, "dataset scale factor (1.0 = paper sizes)")
 	seed := flag.Int64("seed", 1, "random seed for data generation")
+	jsonOut := flag.String("json", "", "write a JSON artifact of all experiment rows and per-experiment metrics to this file")
+	metricsOut := flag.String("metrics-out", "", "write the cumulative metrics-registry snapshot (JSON) to this file on exit")
+	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -39,13 +49,52 @@ func main() {
 		}
 	}
 
-	if err := run(selected, *scale, *seed); err != nil {
+	if *jsonOut != "" || *metricsOut != "" || *pprofAddr != "" {
+		obs.Enable()
+	}
+	if *pprofAddr != "" {
+		if err := obs.Serve(*pprofAddr, obs.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "demon-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	var art *bench.ArtifactBuilder
+	if *jsonOut != "" {
+		art = bench.NewArtifactBuilder(obs.Default(), *scale, *seed)
+	}
+
+	if err := run(selected, *scale, *seed, art); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-bench:", err)
+		os.Exit(1)
+	}
+	if err := writeOutputs(art, *jsonOut, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(selected map[string]bool, scale float64, seed int64) error {
+func writeOutputs(art *bench.ArtifactBuilder, jsonOut, metricsOut string) error {
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := art.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		return obs.Dump(metricsOut, obs.Default())
+	}
+	return nil
+}
+
+func run(selected map[string]bool, scale float64, seed int64, art *bench.ArtifactBuilder) error {
 	out := os.Stdout
 	ran := 0
 
@@ -58,6 +107,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteFig2(out, rows)
 		fmt.Fprintln(out)
+		art.Add("fig2", rows)
 		ran++
 	}
 	if selected["fig3"] {
@@ -69,6 +119,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteFig3(out, rows)
 		fmt.Fprintln(out)
+		art.Add("fig3", rows)
 		ran++
 	}
 	for _, fig := range []int{4, 5, 6, 7} {
@@ -86,6 +137,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteMaintain(out, rows)
 		fmt.Fprintln(out)
+		art.Add(fmt.Sprintf("fig%d", fig), rows)
 		ran++
 	}
 	if selected["fig8"] {
@@ -97,6 +149,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteFig8(out, rows)
 		fmt.Fprintln(out)
+		art.Add("fig8", rows)
 		ran++
 	}
 	if selected["fig9"] {
@@ -108,6 +161,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteFig9(out, res)
 		fmt.Fprintln(out)
+		art.Add("fig9", res)
 		ran++
 	}
 	if selected["fig10"] {
@@ -119,6 +173,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteFig10(out, rows)
 		fmt.Fprintln(out)
+		art.Add("fig10", rows)
 		ran++
 	}
 	if selected["gemm"] {
@@ -130,6 +185,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteGemmVsAuM(out, rows)
 		fmt.Fprintln(out)
+		art.Add("gemm", rows)
 		ran++
 	}
 	if selected["ecutplus"] {
@@ -141,6 +197,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteBudget(out, rows)
 		fmt.Fprintln(out)
+		art.Add("ecutplus", rows)
 		ran++
 	}
 	if selected["kappa"] {
@@ -152,6 +209,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteKappa(out, rows)
 		fmt.Fprintln(out)
+		art.Add("kappa", rows)
 		ran++
 	}
 	if selected["fup"] {
@@ -163,6 +221,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteFupVsBorders(out, rows)
 		fmt.Fprintln(out)
+		art.Add("fup", rows)
 		ran++
 	}
 	if selected["granularity"] {
@@ -174,6 +233,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteGranularity(out, rows)
 		fmt.Fprintln(out)
+		art.Add("granularity", rows)
 		ran++
 	}
 	if selected["dbscan"] {
@@ -185,6 +245,7 @@ func run(selected map[string]bool, scale float64, seed int64) error {
 		}
 		bench.WriteDBSCANCost(out, row)
 		fmt.Fprintln(out)
+		art.Add("dbscan", row)
 		ran++
 	}
 	if ran == 0 {

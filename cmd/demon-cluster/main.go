@@ -13,21 +13,39 @@ import (
 	"os"
 
 	demon "github.com/demon-mining/demon"
+	"github.com/demon-mining/demon/internal/obs"
 	"github.com/demon-mining/demon/internal/textio"
 )
 
 func main() {
 	k := flag.Int("k", 4, "number of clusters K")
 	window := flag.Int("window", 0, "most recent window size w (0 = unrestricted window)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
+	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "demon-cluster: no block files given")
 		os.Exit(2)
 	}
+	if *metricsOut != "" || *pprofAddr != "" {
+		obs.Enable()
+	}
+	if *pprofAddr != "" {
+		if err := obs.Serve(*pprofAddr, obs.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "demon-cluster:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(*k, *window, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-cluster:", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := obs.Dump(*metricsOut, obs.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "demon-cluster:", err)
+			os.Exit(1)
+		}
 	}
 }
 

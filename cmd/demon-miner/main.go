@@ -21,6 +21,8 @@ import (
 	"os"
 
 	demon "github.com/demon-mining/demon"
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/obs"
 	"github.com/demon-mining/demon/internal/textio"
 )
 
@@ -33,15 +35,32 @@ func main() {
 	offset := flag.Int("offset", 1, "offset of the periodic BSS")
 	top := flag.Int("top", 20, "how many frequent itemsets to print")
 	minconf := flag.Float64("rules", 0, "also print association rules at this minimum confidence (0 = off)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
+	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "demon-miner: no block files given")
 		os.Exit(2)
 	}
+	if *metricsOut != "" || *pprofAddr != "" {
+		obs.Enable()
+	}
+	if *pprofAddr != "" {
+		if err := obs.Serve(*pprofAddr, obs.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "demon-miner:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(*minsup, *strategy, *window, *bss, *every, *offset, *top, *minconf, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-miner:", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := obs.Dump(*metricsOut, obs.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "demon-miner:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -70,6 +89,11 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 		indep = demon.EveryNth(every, offset)
 	}
 
+	// One explicit store for the whole run so its I/O counters show up in
+	// the metrics snapshot next to the compute-phase timers.
+	store := demon.NewMemStore()
+	diskio.Observe(obs.Default(), "store", store)
+
 	var addBlock func(rows [][]demon.Item) error
 	var frequents func() []demon.ItemsetSupport
 	var rules func(float64) ([]demon.Rule, error)
@@ -80,6 +104,7 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 			Strategy:   strategy,
 			WindowSize: window,
 			BSS:        indep,
+			Store:      store,
 		}
 		if bssStr != "" {
 			rel, err := demon.ParseWindowRelBSS(bssStr)
@@ -115,6 +140,7 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 			MinSupport: minsup,
 			Strategy:   strategy,
 			BSS:        indep,
+			Store:      store,
 		})
 		if err != nil {
 			return err

@@ -32,6 +32,10 @@ type CountEnv struct {
 	TIDs     *tidlist.Store
 	BlockIDs []blockseq.ID
 	Lattice  *itemset.Lattice
+	// Store is the byte-accounted store both the transaction blocks and the
+	// TID-lists live in; experiments read its Stats around counting calls to
+	// attribute byte traffic to strategies.
+	Store diskio.Store
 	// Border is the negative border in a seed-determined shuffled order;
 	// experiments take prefixes of it as the candidate sets S.
 	Border []itemset.Itemset
@@ -65,6 +69,7 @@ func NewCountEnv(spec string, scale, minsup float64, seed int64) (*CountEnv, err
 		NumTx:  numTx,
 		Blocks: itemset.NewBlockStore(store),
 		TIDs:   tidlist.NewStore(store),
+		Store:  store,
 	}
 
 	blk := gen.Block(1, numTx)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"github.com/demon-mining/demon/internal/diskio"
 )
 
 // Fig2Config parameterizes Experiment 1 (Figure 2): counting time versus the
@@ -33,6 +35,25 @@ func DefaultFig2Config(scale float64) Fig2Config {
 	}
 }
 
+// StrategyIO is the I/O a counting invocation performed, from the store's
+// byte accounting — the quantity the Section 3.1.1 ECUT-vs-PT-Scan argument
+// turns on, kept in the JSON artifact rather than only on stdout.
+type StrategyIO struct {
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	Reads        int64 `json:"reads"`
+	Writes       int64 `json:"writes"`
+}
+
+func ioDelta(after, before diskio.Stats) StrategyIO {
+	return StrategyIO{
+		BytesRead:    after.BytesRead - before.BytesRead,
+		BytesWritten: after.BytesWritten - before.BytesWritten,
+		Reads:        after.Reads - before.Reads,
+		Writes:       after.Writes - before.Writes,
+	}
+}
+
 // Fig2Row is one measured point of Figure 2.
 type Fig2Row struct {
 	Dataset  string
@@ -40,6 +61,11 @@ type Fig2Row struct {
 	PTScan   time.Duration
 	ECUT     time.Duration
 	ECUTPlus time.Duration
+	// PTScanIO/ECUTIO/ECUTPlusIO are the per-strategy store I/O deltas of
+	// the counting call.
+	PTScanIO   StrategyIO
+	ECUTIO     StrategyIO
+	ECUTPlusIO StrategyIO
 }
 
 // Figure2 runs Experiment 1 and returns one row per (dataset, |S|) pair.
@@ -60,18 +86,20 @@ func Figure2(cfg Fig2Config) ([]Fig2Row, error) {
 			}
 			row := Fig2Row{Dataset: spec, NumSets: len(sets)}
 			for _, c := range env.Counters() {
+				before := env.Store.Stats()
 				start := time.Now()
 				if _, err := c.Count(sets, env.BlockIDs); err != nil {
 					return nil, fmt.Errorf("bench: figure 2 counting with %s: %w", c.Name(), err)
 				}
 				elapsed := time.Since(start)
+				io := ioDelta(env.Store.Stats(), before)
 				switch c.Name() {
 				case "PT-Scan":
-					row.PTScan = elapsed
+					row.PTScan, row.PTScanIO = elapsed, io
 				case "ECUT":
-					row.ECUT = elapsed
+					row.ECUT, row.ECUTIO = elapsed, io
 				case "ECUT+":
-					row.ECUTPlus = elapsed
+					row.ECUTPlus, row.ECUTPlusIO = elapsed, io
 				}
 			}
 			rows = append(rows, row)
@@ -80,12 +108,16 @@ func Figure2(cfg Fig2Config) ([]Fig2Row, error) {
 	return rows, nil
 }
 
-// WriteFig2 renders the rows as the Figure 2 series.
+// WriteFig2 renders the rows as the Figure 2 series, with the per-strategy
+// bytes fetched alongside the times (the I/O side of the §3.1.1 claim).
 func WriteFig2(w io.Writer, rows []Fig2Row) {
-	fmt.Fprintln(w, "Figure 2: counting time vs #itemsets (seconds)")
-	fmt.Fprintf(w, "%-24s %9s %12s %12s %12s\n", "dataset", "|S|", "PT-Scan", "ECUT", "ECUT+")
+	fmt.Fprintln(w, "Figure 2: counting time vs #itemsets (seconds; MB read)")
+	fmt.Fprintf(w, "%-24s %9s %12s %12s %12s %10s %10s %10s\n",
+		"dataset", "|S|", "PT-Scan", "ECUT", "ECUT+", "PT:MB", "ECUT:MB", "ECUT+:MB")
+	const mb = 1 << 20
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-24s %9d %12.4f %12.4f %12.4f\n",
-			r.Dataset, r.NumSets, r.PTScan.Seconds(), r.ECUT.Seconds(), r.ECUTPlus.Seconds())
+		fmt.Fprintf(w, "%-24s %9d %12.4f %12.4f %12.4f %10.2f %10.2f %10.2f\n",
+			r.Dataset, r.NumSets, r.PTScan.Seconds(), r.ECUT.Seconds(), r.ECUTPlus.Seconds(),
+			float64(r.PTScanIO.BytesRead)/mb, float64(r.ECUTIO.BytesRead)/mb, float64(r.ECUTPlusIO.BytesRead)/mb)
 	}
 }

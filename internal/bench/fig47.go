@@ -132,7 +132,7 @@ func Maintain(cfg MaintainConfig) ([]MaintainRow, error) {
 		}
 		for _, counter := range counters {
 			model := base.Clone()
-			mt := &borders.Maintainer{Store: env.Blocks, Counter: counter, MinSupport: cfg.MinSupport}
+			mt := &borders.Maintainer{Store: env.Blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: env.Store}
 			st, err := mt.AddBlock(model, blk2)
 			if err != nil {
 				return nil, fmt.Errorf("bench: figure %d with %s: %w", cfg.Figure, counter.Name(), err)

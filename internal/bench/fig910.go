@@ -156,6 +156,11 @@ type Fig10Row struct {
 	Label       string
 	Kind        proxysim.DayKind
 	Elapsed     time.Duration
+	// DeviationTime and ExtendTime decompose Elapsed into the deviation
+	// computations and the sequence-extension bookkeeping, so the figure's
+	// cost breakdown is reproducible from a single run.
+	DeviationTime time.Duration
+	ExtendTime    time.Duration
 	// SimilarTo is how many earlier blocks this block matched.
 	SimilarTo int
 }
@@ -184,22 +189,26 @@ func Figure10(cfg Fig10Config) ([]Fig10Row, error) {
 			return nil, fmt.Errorf("bench: figure 10 block %d: %w", b.ID, err)
 		}
 		rows = append(rows, Fig10Row{
-			BlockNumber: i,
-			Label:       infos[i].Label(),
-			Kind:        infos[i].Kind,
-			Elapsed:     time.Since(start),
-			SimilarTo:   st.SimilarTo,
+			BlockNumber:   i,
+			Label:         infos[i].Label(),
+			Kind:          infos[i].Kind,
+			Elapsed:       time.Since(start),
+			DeviationTime: st.DeviationTime,
+			ExtendTime:    st.ExtendTime,
+			SimilarTo:     st.SimilarTo,
 		})
 	}
 	return rows, nil
 }
 
-// WriteFig10 renders the series.
+// WriteFig10 renders the series with its cost decomposition.
 func WriteFig10(w io.Writer, rows []Fig10Row) {
 	fmt.Fprintln(w, "Figure 10: time to update compact sequences per block (seconds)")
-	fmt.Fprintf(w, "%6s %-22s %-16s %10s %10s\n", "block", "period", "kind", "time", "similar")
+	fmt.Fprintf(w, "%6s %-22s %-16s %10s %10s %10s %10s\n",
+		"block", "period", "kind", "time", "deviation", "extend", "similar")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%6d %-22s %-16s %10.4f %10d\n",
-			r.BlockNumber, r.Label, r.Kind, r.Elapsed.Seconds(), r.SimilarTo)
+		fmt.Fprintf(w, "%6d %-22s %-16s %10.4f %10.4f %10.4f %10d\n",
+			r.BlockNumber, r.Label, r.Kind, r.Elapsed.Seconds(),
+			r.DeviationTime.Seconds(), r.ExtendTime.Seconds(), r.SimilarTo)
 	}
 }

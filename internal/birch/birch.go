@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"github.com/demon-mining/demon/internal/cf"
+	"github.com/demon-mining/demon/internal/obs"
 )
 
 // Cluster is one output cluster: a cluster feature summarizing its points.
@@ -313,17 +314,34 @@ func NewPlus(cfg Config) (*Plus, error) {
 // AddBlock scans the new block's points into the resident CF-tree — the
 // single scan that gives BIRCH+ its small response time.
 func (p *Plus) AddBlock(pts []cf.Point) error {
+	reg := obs.Default()
+	span := reg.Timer("birch.insert.ns").Start()
 	for _, pt := range pts {
 		if err := p.tree.Insert(pt); err != nil {
+			span.End()
 			return err
 		}
 	}
+	span.EndObserving(reg.Counter("birch.insert.points"), int64(len(pts)))
+	p.observeTree(reg)
 	return nil
+}
+
+// observeTree refreshes the CF-tree size gauges.
+func (p *Plus) observeTree(reg *obs.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge("birch.points").Set(int64(p.tree.NumPoints()))
+	reg.Gauge("birch.subclusters").Set(int64(p.tree.NumSubClusters()))
+	reg.Gauge("birch.rebuilds").Set(int64(p.tree.Rebuilds()))
 }
 
 // Clusters runs phase 2 on the current sub-clusters and returns the model
 // on all data added so far.
 func (p *Plus) Clusters() (*Model, error) {
+	span := obs.Default().Timer("birch.phase2.ns").Start()
+	defer span.End()
 	return Phase2(p.tree.SubClusters(), p.cfg.K)
 }
 

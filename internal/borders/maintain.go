@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/obs"
 )
 
 // Maintainer drives BORDERS maintenance of a Model. Blocks must be ingested
@@ -21,6 +23,12 @@ type Maintainer struct {
 	Counter Counter
 	// MinSupport is the fractional threshold κ for models created by Empty.
 	MinSupport float64
+	// IO optionally exposes the I/O counters of the store the Counter reads
+	// from. When set (and the obs registry is enabled), the update phase
+	// records the bytes each counting invocation fetched under
+	// "borders.count.<strategy>.bytes" — the quantity the Section 3.1.1
+	// ECUT-vs-PT-Scan argument turns on.
+	IO interface{ Stats() diskio.Stats }
 }
 
 // Empty returns a model over zero blocks.
@@ -90,6 +98,7 @@ func (mt *Maintainer) AddBlock(m *Model, blk *itemset.TxBlock) (Stats, error) {
 	l.Passes++
 	m.Blocks = append(m.Blocks, blk.ID)
 	st.Detection = time.Since(start)
+	obs.Default().Timer("borders.detect.ns").Record(st.Detection)
 
 	ust, err := mt.reclassifyAndExpand(m)
 	if err != nil {
@@ -144,6 +153,7 @@ func (mt *Maintainer) DeleteBlock(m *Model, id blockseq.ID) (Stats, error) {
 	l.Passes++
 	m.Blocks = append(m.Blocks[:pos], m.Blocks[pos+1:]...)
 	st.Detection = time.Since(start)
+	obs.Default().Timer("borders.detect.ns").Record(st.Detection)
 
 	ust, err := mt.reclassifyAndExpand(m)
 	if err != nil {
@@ -218,6 +228,9 @@ func (mt *Maintainer) reclassifyAndExpand(m *Model) (Stats, error) {
 			promoted = true
 		}
 	}
+	reg := obs.Default()
+	reg.Counter("borders.promoted").Add(int64(st.Promoted))
+	reg.Counter("borders.demoted").Add(int64(st.Demoted))
 	if !promoted {
 		return st, nil
 	}
@@ -225,12 +238,35 @@ func (mt *Maintainer) reclassifyAndExpand(m *Model) (Stats, error) {
 	// Update phase: expand the frontier until no new frequent itemsets.
 	start := time.Now()
 	st.UpdateInvoked = true
+	updateTimer := reg.Timer("borders.update.ns")
+	reg.Counter("borders.update.invocations").Inc()
+	// Per-strategy counting instruments; resolved only when recording so the
+	// disabled path stays allocation-free.
+	var countTimer *obs.Timer
+	var candCounter, byteCounter *obs.Counter
+	if reg.Enabled() {
+		label := obs.Label(mt.Counter.Name())
+		countTimer = reg.Timer("borders.count." + label + ".ns")
+		candCounter = reg.Counter("borders.count." + label + ".candidates")
+		if mt.IO != nil {
+			byteCounter = reg.Counter("borders.count." + label + ".bytes")
+		}
+	}
 	for {
 		cands := newCandidates(l)
 		if len(cands) == 0 {
 			break
 		}
+		var ioBefore diskio.Stats
+		if byteCounter != nil {
+			ioBefore = mt.IO.Stats()
+		}
+		cspan := countTimer.Start()
 		counts, err := mt.Counter.Count(cands, m.Blocks)
+		cspan.EndObserving(candCounter, int64(len(cands)))
+		if byteCounter != nil {
+			byteCounter.Add(mt.IO.Stats().BytesRead - ioBefore.BytesRead)
+		}
 		if err != nil {
 			return st, err
 		}
@@ -250,6 +286,7 @@ func (mt *Maintainer) reclassifyAndExpand(m *Model) (Stats, error) {
 		}
 	}
 	st.Update = time.Since(start)
+	updateTimer.Record(st.Update)
 	return st, nil
 }
 

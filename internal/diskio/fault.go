@@ -48,7 +48,10 @@ func (f *FaultStore) check(key string) error {
 		return ErrInjected
 	}
 	if f.armed.Load() {
-		if f.remaining.Add(-1) < 0 {
+		// Fire for exactly the decrement that crosses zero: under concurrent
+		// use several operations may decrement past the trigger, but only one
+		// observes -1, so an armed countdown fires exactly once.
+		if f.remaining.Add(-1) == -1 {
 			f.armed.Store(false)
 			return ErrInjected
 		}

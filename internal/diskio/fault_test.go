@@ -2,7 +2,10 @@ package diskio
 
 import (
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -83,5 +86,106 @@ func TestFaultStoreKeyPredicate(t *testing.T) {
 	}
 	if _, err := f.Keys("tid/"); !errors.Is(err, ErrInjected) {
 		t.Fatalf("tid keys err = %v", err)
+	}
+}
+
+// TestFaultStoreConcurrentCountdownFiresOnce hammers an armed countdown from
+// many goroutines: however the decrements interleave, exactly one operation
+// must observe the injected fault per armed countdown.
+func TestFaultStoreConcurrentCountdownFiresOnce(t *testing.T) {
+	const workers = 8
+	const opsPerWorker = 200
+
+	for round := 0; round < 20; round++ {
+		f := NewFaultStore(NewMemStore())
+		f.FailAfter(round * 17 % (workers * opsPerWorker / 2)) // vary the trigger point
+
+		var fired atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				key := fmt.Sprintf("w%d", w)
+				for i := 0; i < opsPerWorker; i++ {
+					if err := f.Put(key, nil); errors.Is(err, ErrInjected) {
+						fired.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		if got := fired.Load(); got != 1 {
+			t.Fatalf("round %d: countdown fired %d times, want exactly 1", round, got)
+		}
+		// The store is quiescent and disarmed; more traffic stays clean.
+		for i := 0; i < 10; i++ {
+			if err := f.Put("after", nil); err != nil {
+				t.Fatalf("post-fire op %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestFaultStoreConcurrentDisarm races DisarmCountdown against operations:
+// the countdown may fire at most once, and never after a disarm completes
+// with no further arm.
+func TestFaultStoreConcurrentDisarm(t *testing.T) {
+	const workers = 8
+	for round := 0; round < 50; round++ {
+		f := NewFaultStore(NewMemStore())
+		f.FailAfter(workers * 2)
+
+		var fired atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 10; i++ {
+					if _, err := f.Get("k"); errors.Is(err, ErrInjected) {
+						fired.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			f.DisarmCountdown()
+		}()
+		close(start)
+		wg.Wait()
+
+		if got := fired.Load(); got > 1 {
+			t.Fatalf("round %d: countdown fired %d times despite disarm race, want <= 1", round, got)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := f.Get("k"); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("post-disarm op %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestFaultStoreRearm: arming again after a firing restores the exactly-once
+// guarantee for the new countdown.
+func TestFaultStoreRearm(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	for arm := 0; arm < 5; arm++ {
+		f.FailAfter(3)
+		var fired int
+		for i := 0; i < 10; i++ {
+			if err := f.Put("k", nil); errors.Is(err, ErrInjected) {
+				fired++
+			}
+		}
+		if fired != 1 {
+			t.Fatalf("arm %d: fired %d times, want 1", arm, fired)
+		}
 	}
 }

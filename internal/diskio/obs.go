@@ -1,0 +1,26 @@
+package diskio
+
+import "github.com/demon-mining/demon/internal/obs"
+
+// Observe bridges a store's I/O accounting into the instrumentation
+// registry: at every registry snapshot the store's cumulative Stats are
+// mirrored into the gauges
+//
+//	diskio.<name>.bytes_read
+//	diskio.<name>.bytes_written
+//	diskio.<name>.reads
+//	diskio.<name>.writes
+//
+// so byte traffic is visible alongside the compute-phase timers. The bridge
+// holds a reference to the store for the registry's lifetime; register
+// long-lived stores (CLI and bench stores), not per-test throwaways.
+func Observe(r *obs.Registry, name string, s Store) {
+	prefix := "diskio." + name + "."
+	r.AddCollector(func(r *obs.Registry) {
+		st := s.Stats()
+		r.Gauge(prefix + "bytes_read").Set(st.BytesRead)
+		r.Gauge(prefix + "bytes_written").Set(st.BytesWritten)
+		r.Gauge(prefix + "reads").Set(st.Reads)
+		r.Gauge(prefix + "writes").Set(st.Writes)
+	})
+}

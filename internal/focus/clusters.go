@@ -5,6 +5,7 @@ import (
 
 	"github.com/demon-mining/demon/internal/birch"
 	"github.com/demon-mining/demon/internal/cf"
+	"github.com/demon-mining/demon/internal/obs"
 )
 
 // ClusterDiffer instantiates FOCUS with cluster models: the structural
@@ -31,6 +32,8 @@ func (d ClusterDiffer) treeConfig() cf.TreeConfig {
 
 // Deviation implements Differ[*birch.PointBlock].
 func (d ClusterDiffer) Deviation(a, b *birch.PointBlock) (Deviation, error) {
+	span := obs.Default().Timer("focus.deviation.ns").Start()
+	defer span.End()
 	if d.K < 1 {
 		return Deviation{}, fmt.Errorf("focus: cluster differ K = %d < 1", d.K)
 	}
@@ -83,6 +86,7 @@ func (d ClusterDiffer) Deviation(a, b *birch.PointBlock) (Deviation, error) {
 	if err != nil {
 		return Deviation{}, err
 	}
+	obs.Default().Histogram("focus.deviation.regions").Observe(int64(len(regions)))
 	return Deviation{Score: score, PValue: p, Regions: len(regions)}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/obs"
 )
 
 // SignificanceMode selects how a deviation's p-value is computed.
@@ -42,6 +43,8 @@ type ItemsetDiffer struct {
 
 // Deviation implements Differ[*itemset.TxBlock].
 func (d ItemsetDiffer) Deviation(a, b *itemset.TxBlock) (Deviation, error) {
+	span := obs.Default().Timer("focus.deviation.ns").Start()
+	defer span.End()
 	if d.MinSupport <= 0 || d.MinSupport >= 1 {
 		return Deviation{}, fmt.Errorf("focus: minimum support %v outside (0, 1)", d.MinSupport)
 	}
@@ -85,6 +88,7 @@ func (d ItemsetDiffer) Deviation(a, b *itemset.TxBlock) (Deviation, error) {
 	if err != nil {
 		return Deviation{}, err
 	}
+	obs.Default().Histogram("focus.deviation.regions").Observe(int64(len(gcr)))
 	return Deviation{Score: score, PValue: p, Regions: len(gcr)}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/obs"
 )
 
 // Maintainer is the abstraction of the paper's A_M: it can create an empty
@@ -151,10 +152,13 @@ func (g *GEMM[B, M]) AddBlock(blk B, id blockseq.ID) error {
 	}
 
 	// Shift: slot j+1 becomes slot j; a fresh model enters the last slot.
+	reg := obs.Default()
+	span := reg.Timer("gemm.slide.ns").Start()
 	next := make([]M, g.w)
 	copy(next, g.models[1:])
 	next[g.w-1] = g.am.Empty()
 
+	updated := 0
 	for j := 0; j < g.w; j++ {
 		if !g.bitFor(j, id) {
 			continue
@@ -162,12 +166,19 @@ func (g *GEMM[B, M]) AddBlock(blk B, id blockseq.ID) error {
 		m, err := g.am.Add(next[j], blk)
 		if err != nil {
 			g.broken = err
+			span.End()
 			return fmt.Errorf("gemm: updating slot %d with block %d: %w", j, id, err)
 		}
 		next[j] = m
+		updated++
 	}
 	g.models = next
 	g.t = id
+	span.EndObserving(reg.Counter("gemm.slot_updates"), int64(updated))
+	if reg.Enabled() {
+		reg.Gauge("gemm.window").Set(int64(g.w))
+		reg.Gauge("gemm.t").Set(int64(g.t))
+	}
 	return nil
 }
 

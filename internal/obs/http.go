@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Handler serves the registry's current snapshot: JSON when the request asks
+// for it (?format=json or an Accept: application/json header), aligned text
+// otherwise.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" || req.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+	})
+}
+
+// DebugMux returns the mux the CLIs serve on -pprof-addr: the registry
+// snapshot at /metricsz and the runtime profiles under /debug/pprof/.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metricsz", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for DebugMux(r) on addr in a background
+// goroutine. It returns once the listener is bound so callers can fail fast
+// on a bad address; serve errors after that are ignored (the process is
+// exiting anyway when the listener closes).
+func Serve(addr string, r *Registry) error {
+	srv := &http.Server{Addr: addr, Handler: DebugMux(r)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// Dump writes the registry's snapshot as JSON to path.
+func Dump(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -14,6 +14,7 @@ import (
 
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/focus"
+	"github.com/demon-mining/demon/internal/obs"
 )
 
 // Detector incrementally maintains the compact sequences of a systematically
@@ -43,6 +44,10 @@ type Stats struct {
 	Deviations int
 	// DeviationTime is the total time spent in the deviation function.
 	DeviationTime time.Duration
+	// ExtendTime is the time spent extending existing sequences with the new
+	// block; DeviationTime + ExtendTime decompose the per-block cost of
+	// Figure 10.
+	ExtendTime time.Duration
 	// Extended is the number of existing sequences the new block joined.
 	Extended int
 	// SimilarTo is the number of earlier blocks the new block is similar to.
@@ -87,6 +92,9 @@ func (d *Detector[B]) AddBlock(id blockseq.ID, blk B) (Stats, error) {
 	if n := len(d.ids); n > 0 && id <= d.ids[n-1] {
 		return st, fmt.Errorf("pattern: block %d out of order (latest %d)", id, d.ids[n-1])
 	}
+	reg := obs.Default()
+	span := reg.Timer("pattern.addblock.ns").Start()
+	defer span.End()
 
 	// Augment the deviation matrix with δ(new, Di) for every retained block.
 	// Under a window, blocks that will be outside the window once the new
@@ -115,6 +123,7 @@ func (d *Detector[B]) AddBlock(id blockseq.ID, blk B) (Stats, error) {
 	st.Deviations = len(d.blocks) - lo
 
 	// Extend each sequence whose every member is similar to the new block.
+	extendStart := time.Now()
 	newPos := len(d.ids)
 	for si := range d.seqs {
 		all := true
@@ -129,6 +138,7 @@ func (d *Detector[B]) AddBlock(id blockseq.ID, blk B) (Stats, error) {
 			st.Extended++
 		}
 	}
+	st.ExtendTime = time.Since(extendStart)
 
 	d.ids = append(d.ids, id)
 	d.blocks = append(d.blocks, blk)
@@ -138,6 +148,14 @@ func (d *Detector[B]) AddBlock(id blockseq.ID, blk B) (Stats, error) {
 
 	if d.window > 0 {
 		d.prune()
+	}
+	if reg.Enabled() {
+		reg.Timer("pattern.deviation.ns").Record(st.DeviationTime)
+		reg.Timer("pattern.extend.ns").Record(st.ExtendTime)
+		reg.Counter("pattern.deviations").Add(int64(st.Deviations))
+		reg.Counter("pattern.similar").Add(int64(st.SimilarTo))
+		reg.Gauge("pattern.blocks").Set(int64(len(d.ids)))
+		reg.Gauge("pattern.sequences").Set(int64(len(d.seqs)))
 	}
 	return st, nil
 }

@@ -87,7 +87,7 @@ func NewItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
 		return nil, err
 	}
 	counter = parallelize(counter, cfg.Workers)
-	m.mt = &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport}
+	m.mt = &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: cfg.Store}
 	m.model = m.mt.Empty()
 	return m, nil
 }

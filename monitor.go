@@ -40,6 +40,13 @@ type MonitorReport struct {
 	Deviations int
 	// Elapsed is the total time of the step.
 	Elapsed time.Duration
+	// DeviationTime is the share of Elapsed spent computing FOCUS deviations
+	// against earlier blocks; together with ExtendTime it makes the Figure 10
+	// cost decomposition reproducible from a single run.
+	DeviationTime time.Duration
+	// ExtendTime is the share of Elapsed spent extending existing compact
+	// sequences with the new block.
+	ExtendTime time.Duration
 	// SimilarTo is how many earlier blocks this block is similar to.
 	SimilarTo int
 	// Extended is how many existing compact sequences the block joined.
@@ -94,11 +101,13 @@ func (m *Monitor) AddBlock(transactions [][]Item) (*MonitorReport, error) {
 	m.snap = snap
 	m.next += blk.Len()
 	return &MonitorReport{
-		Block:      id,
-		Deviations: st.Deviations,
-		Elapsed:    time.Since(start),
-		SimilarTo:  st.SimilarTo,
-		Extended:   st.Extended,
+		Block:         id,
+		Deviations:    st.Deviations,
+		Elapsed:       time.Since(start),
+		DeviationTime: st.DeviationTime,
+		ExtendTime:    st.ExtendTime,
+		SimilarTo:     st.SimilarTo,
+		Extended:      st.Extended,
 	}, nil
 }
 
@@ -170,11 +179,13 @@ func (m *ClusterMonitor) AddBlock(points []Point) (*MonitorReport, error) {
 	}
 	m.snap = snap
 	return &MonitorReport{
-		Block:      id,
-		Deviations: st.Deviations,
-		Elapsed:    time.Since(start),
-		SimilarTo:  st.SimilarTo,
-		Extended:   st.Extended,
+		Block:         id,
+		Deviations:    st.Deviations,
+		Elapsed:       time.Since(start),
+		DeviationTime: st.DeviationTime,
+		ExtendTime:    st.ExtendTime,
+		SimilarTo:     st.SimilarTo,
+		Extended:      st.Extended,
 	}, nil
 }
 

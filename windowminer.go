@@ -96,7 +96,7 @@ func NewItemsetWindowMiner(cfg ItemsetWindowMinerConfig) (*ItemsetWindowMiner, e
 		return nil, err
 	}
 	counter = parallelize(counter, cfg.Workers)
-	ad := bordersAdapter{mt: &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport}}
+	ad := bordersAdapter{mt: &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: cfg.Store}}
 
 	switch {
 	case cfg.WindowRelBSS.Len() > 0:
