@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench check experiments examples fmt vet clean
+.PHONY: all build test race cover bench check faultsweep experiments examples fmt vet clean
 
 all: build test
 
@@ -22,6 +22,15 @@ cover:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Exhaustive crash-at-every-operation sweep with torn-write injection (see
+# faultsweep_test.go): every run is killed at one store-operation index,
+# restarted, resumed from its last checkpoint, and must end byte-identical
+# to a fault-free run. FAULTSWEEP_FLAGS=-short samples ~40 indices per miner
+# instead of all of them.
+FAULTSWEEP_FLAGS ?=
+faultsweep:
+	$(GO) test -race $(FAULTSWEEP_FLAGS) -run 'FaultSweep|CrashSweep' ./...
 
 # One testing.B benchmark per paper table/figure (see bench_test.go).
 bench:

@@ -1,10 +1,14 @@
 package demon
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
+	"github.com/demon-mining/demon/internal/birch"
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/borders"
+	"github.com/demon-mining/demon/internal/cf"
 	"github.com/demon-mining/demon/internal/diskio"
 )
 
@@ -14,54 +18,139 @@ import (
 // block ingestion where it left off. Blocks and TID-lists already live in
 // the Store, so a checkpoint adds only the model collection and the
 // snapshot position.
+//
+// Every checkpoint is written inside a transaction (see diskio.TxnStore):
+// the model slots and the position meta become visible together or not at
+// all, so a crash mid-checkpoint can never leave a meta record pointing at
+// half-written models.
 
 const (
-	minerCheckpointPrefix  = "checkpoint/itemset-miner"
-	windowCheckpointPrefix = "checkpoint/itemset-window-miner"
+	minerCheckpointPrefix   = "checkpoint/itemset-miner"
+	windowCheckpointPrefix  = "checkpoint/itemset-window-miner"
+	clusterCheckpointPrefix = "checkpoint/cluster-miner"
+
+	// checkpointMetaVersion is the format version of the meta record. Bump
+	// it when the layout changes; restore rejects versions it does not know
+	// instead of misreading them.
+	checkpointMetaVersion = 0x01
 )
 
-func putCheckpointMeta(store Store, prefix string, t BlockID, totalTx int) error {
-	buf := diskio.AppendUvarint(nil, uint64(t))
-	buf = diskio.AppendUvarint(buf, uint64(totalTx))
+// checkpointMeta is the position record of a checkpoint.
+type checkpointMeta struct {
+	t       BlockID
+	totalTx int
+	// slots is the window size the checkpoint was taken under; 0 for the
+	// unrestricted-window miners.
+	slots int
+	// bss is the window-relative BSS bit string ("10110"-style) the
+	// checkpoint was taken under; empty when none was configured.
+	bss string
+}
+
+func putCheckpointMeta(store Store, prefix string, m checkpointMeta) error {
+	buf := []byte{checkpointMetaVersion}
+	buf = diskio.AppendUvarint(buf, uint64(m.t))
+	buf = diskio.AppendUvarint(buf, uint64(m.totalTx))
+	buf = diskio.AppendUvarint(buf, uint64(m.slots))
+	buf = diskio.AppendUvarint(buf, uint64(len(m.bss)))
+	buf = append(buf, m.bss...)
 	return store.Put(prefix+"/meta", buf)
 }
 
-func getCheckpointMeta(store Store, prefix string) (BlockID, int, error) {
+func getCheckpointMeta(store Store, prefix string) (checkpointMeta, error) {
+	var m checkpointMeta
 	data, err := store.Get(prefix + "/meta")
 	if err != nil {
-		return 0, 0, err
+		return m, err
 	}
+	if len(data) == 0 {
+		return m, fmt.Errorf("demon: %w: empty checkpoint meta", diskio.ErrCorrupt)
+	}
+	if data[0] != checkpointMetaVersion {
+		return m, fmt.Errorf("demon: %w: checkpoint meta version %d, this build reads version %d",
+			diskio.ErrCorrupt, data[0], checkpointMetaVersion)
+	}
+	data = data[1:]
 	t, data, err := diskio.ReadUvarint(data)
 	if err != nil {
-		return 0, 0, fmt.Errorf("demon: decoding checkpoint meta: %w", err)
+		return m, fmt.Errorf("demon: decoding checkpoint position: %w", err)
 	}
-	total, _, err := diskio.ReadUvarint(data)
+	total, data, err := diskio.ReadUvarint(data)
 	if err != nil {
-		return 0, 0, fmt.Errorf("demon: decoding checkpoint meta: %w", err)
+		return m, fmt.Errorf("demon: decoding checkpoint transaction count: %w", err)
 	}
-	return BlockID(t), int(total), nil
+	slots, data, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return m, fmt.Errorf("demon: decoding checkpoint slot count: %w", err)
+	}
+	bssLen, data, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return m, fmt.Errorf("demon: decoding checkpoint BSS length: %w", err)
+	}
+	if bssLen > uint64(len(data)) {
+		return m, fmt.Errorf("demon: %w: truncated checkpoint BSS", diskio.ErrCorrupt)
+	}
+	m.t = BlockID(t)
+	m.totalTx = int(total)
+	m.slots = int(slots)
+	m.bss = string(data[:bssLen])
+	if rest := data[bssLen:]; len(rest) != 0 {
+		return m, fmt.Errorf("demon: %w: %d trailing bytes after checkpoint meta",
+			diskio.ErrCorrupt, len(rest))
+	}
+	return m, nil
 }
 
-// Checkpoint persists the miner's model and position into its Store.
+// recoverStore rolls the store's transaction log to a consistent state; every
+// open-or-restore path runs it before touching data.
+func recoverStore(store Store) error {
+	if _, err := diskio.Recover(store); err != nil {
+		return fmt.Errorf("demon: recovering store: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint persists the miner's model and position into its Store,
+// atomically.
 func (m *ItemsetMiner) Checkpoint() error {
-	ms := borders.NewModelStore(m.cfg.Store, minerCheckpointPrefix)
+	if m.err != nil {
+		return m.unusable()
+	}
+	return m.writeCheckpoint(m.snap.T, m.totalTx)
+}
+
+// writeCheckpoint stages the model and meta in a transaction of their own,
+// or joins the caller's (AddBlock auto-checkpoints inside its block
+// transaction, making block and checkpoint one atomic unit).
+func (m *ItemsetMiner) writeCheckpoint(t BlockID, totalTx int) error {
+	m.io.Begin()
+	ms := borders.NewModelStore(m.io, minerCheckpointPrefix)
 	if err := ms.Save(0, m.model); err != nil {
+		m.io.Rollback()
 		return err
 	}
-	return putCheckpointMeta(m.cfg.Store, minerCheckpointPrefix, m.snap.T, m.totalTx)
+	if err := putCheckpointMeta(m.io, minerCheckpointPrefix, checkpointMeta{t: t, totalTx: totalTx}); err != nil {
+		m.io.Rollback()
+		return err
+	}
+	return m.io.Commit()
 }
 
 // RestoreItemsetMiner rebuilds a miner from a checkpoint previously written
 // to cfg.Store by Checkpoint. The configuration must match the one the
 // checkpoint was taken under (same store contents; the threshold is restored
-// from the model).
+// from the model). Incomplete transactions left by a crash are rolled back
+// or forward first.
 func RestoreItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("demon: restoring requires the original Store")
 	}
-	t, totalTx, err := getCheckpointMeta(cfg.Store, minerCheckpointPrefix)
+	if err := recoverStore(cfg.Store); err != nil {
+		return nil, err
+	}
+	meta, err := getCheckpointMeta(cfg.Store, minerCheckpointPrefix)
 	if err != nil {
-		return nil, fmt.Errorf("demon: no itemset-miner checkpoint: %w", err)
+		return nil, fmt.Errorf("demon: itemset-miner checkpoint: %w", err)
 	}
 	ms := borders.NewModelStore(cfg.Store, minerCheckpointPrefix)
 	model, err := ms.Load(0)
@@ -75,49 +164,225 @@ func RestoreItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
 	}
 	m.model = model
 	m.mt.MinSupport = model.Lattice.MinSupport
-	m.snap = blockseq.Snapshot{T: t}
-	m.totalTx = totalTx
+	m.snap = blockseq.Snapshot{T: meta.t}
+	m.totalTx = meta.totalTx
 	return m, nil
 }
 
+// ResumeItemsetMiner opens a miner over cfg.Store: when the store holds a
+// checkpoint the miner restores from it, otherwise it starts fresh. A
+// corrupt checkpoint is an error, never a silent fresh start — resuming past
+// damaged state would quietly diverge from the fault-free history.
+func ResumeItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
+	if cfg.Store == nil {
+		return NewItemsetMiner(cfg)
+	}
+	_, err := getCheckpointMeta(cfg.Store, minerCheckpointPrefix)
+	switch {
+	case errors.Is(err, diskio.ErrNotFound):
+		return NewItemsetMiner(cfg)
+	case err != nil && !errors.Is(err, diskio.ErrCorrupt):
+		return nil, fmt.Errorf("demon: itemset-miner checkpoint: %w", err)
+	}
+	// A corrupt meta may be a record the transaction log can repair; let
+	// Restore recover first and re-read.
+	return RestoreItemsetMiner(cfg)
+}
+
 // Checkpoint persists the window miner's whole model collection (all w GEMM
-// slots) and position into its Store.
+// slots) and position into its Store, atomically.
 func (m *ItemsetWindowMiner) Checkpoint() error {
-	ms := borders.NewModelStore(m.cfg.Store, windowCheckpointPrefix)
+	if m.err != nil {
+		return m.unusable()
+	}
+	return m.writeCheckpoint(m.snap.T, m.nextTx)
+}
+
+func (m *ItemsetWindowMiner) writeCheckpoint(t BlockID, nextTx int) error {
+	m.io.Begin()
+	ms := borders.NewModelStore(m.io, windowCheckpointPrefix)
 	for i, slot := range m.g.Slots() {
 		if err := ms.Save(i, slot); err != nil {
+			m.io.Rollback()
 			return err
 		}
 	}
-	return putCheckpointMeta(m.cfg.Store, windowCheckpointPrefix, m.snap.T, m.nextTx)
+	meta := checkpointMeta{t: t, totalTx: nextTx, slots: m.g.WindowSize(), bss: m.cfg.WindowRelBSS.String()}
+	if err := putCheckpointMeta(m.io, windowCheckpointPrefix, meta); err != nil {
+		m.io.Rollback()
+		return err
+	}
+	return m.io.Commit()
 }
 
 // RestoreItemsetWindowMiner rebuilds a window miner from a checkpoint. The
-// window configuration (size, BSS, strategy) must match the original; only
-// the store contents carry state.
+// window configuration (size, BSS, strategy) must match the original; a
+// mismatched window size or window-relative BSS is rejected with a
+// descriptive error rather than mis-restoring the model collection.
 func RestoreItemsetWindowMiner(cfg ItemsetWindowMinerConfig) (*ItemsetWindowMiner, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("demon: restoring requires the original Store")
 	}
-	t, nextTx, err := getCheckpointMeta(cfg.Store, windowCheckpointPrefix)
+	if err := recoverStore(cfg.Store); err != nil {
+		return nil, err
+	}
+	meta, err := getCheckpointMeta(cfg.Store, windowCheckpointPrefix)
 	if err != nil {
-		return nil, fmt.Errorf("demon: no window-miner checkpoint: %w", err)
+		return nil, fmt.Errorf("demon: window-miner checkpoint: %w", err)
 	}
 	m, err := NewItemsetWindowMiner(cfg)
 	if err != nil {
 		return nil, err
 	}
+	if w := m.g.WindowSize(); meta.slots != w {
+		return nil, fmt.Errorf("demon: checkpoint was taken with window size %d, configuration has %d",
+			meta.slots, w)
+	}
+	if rel := cfg.WindowRelBSS.String(); meta.bss != rel {
+		return nil, fmt.Errorf("demon: checkpoint was taken with window-relative BSS %q, configuration has %q",
+			meta.bss, rel)
+	}
 	ms := borders.NewModelStore(cfg.Store, windowCheckpointPrefix)
+	stored, err := ms.Slots()
+	if err != nil {
+		return nil, err
+	}
+	present := make(map[int]bool, len(stored))
+	for _, s := range stored {
+		present[s] = true
+	}
 	slots := make([]*borders.Model, m.g.WindowSize())
 	for i := range slots {
+		if !present[i] {
+			return nil, fmt.Errorf("demon: checkpoint is missing model slot %d of %d", i, len(slots))
+		}
 		if slots[i], err = ms.Load(i); err != nil {
 			return nil, err
 		}
 	}
-	if err := m.g.RestoreState(slots, t); err != nil {
+	if err := m.g.RestoreState(slots, meta.t); err != nil {
 		return nil, err
 	}
-	m.snap = blockseq.Snapshot{T: t}
-	m.nextTx = nextTx
+	m.snap = blockseq.Snapshot{T: meta.t}
+	m.nextTx = meta.totalTx
 	return m, nil
+}
+
+// ResumeItemsetWindowMiner opens a window miner over cfg.Store, restoring
+// from a checkpoint when one exists and starting fresh otherwise. A corrupt
+// checkpoint is an error, never a silent fresh start.
+func ResumeItemsetWindowMiner(cfg ItemsetWindowMinerConfig) (*ItemsetWindowMiner, error) {
+	if cfg.Store == nil {
+		return NewItemsetWindowMiner(cfg)
+	}
+	_, err := getCheckpointMeta(cfg.Store, windowCheckpointPrefix)
+	switch {
+	case errors.Is(err, diskio.ErrNotFound):
+		return NewItemsetWindowMiner(cfg)
+	case err != nil && !errors.Is(err, diskio.ErrCorrupt):
+		return nil, fmt.Errorf("demon: window-miner checkpoint: %w", err)
+	}
+	return RestoreItemsetWindowMiner(cfg)
+}
+
+// clusterConfigFingerprint encodes the parameters a cluster checkpoint
+// depends on, so restore can reject a mismatched configuration instead of
+// decoding the tree under the wrong invariants.
+func clusterConfigFingerprint(k int, tree cf.TreeConfig) []byte {
+	buf := diskio.AppendUvarint(nil, uint64(k))
+	buf = diskio.AppendInts(buf, []int{
+		tree.Branching, tree.LeafEntries, tree.MaxLeafEntriesTotal,
+		boolInt(tree.OutlierBuffering), tree.OutlierMaxN, int(tree.Metric),
+	})
+	return diskio.AppendUvarint(buf, math.Float64bits(tree.Threshold))
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Checkpoint persists the cluster miner's resident CF-tree and position into
+// its Store, atomically. It requires a configured Store.
+func (m *ClusterMiner) Checkpoint() error {
+	if m.err != nil {
+		return m.unusable()
+	}
+	if m.io == nil {
+		return fmt.Errorf("demon: cluster-miner checkpointing requires a Store")
+	}
+	return m.writeCheckpoint(m.snap.T)
+}
+
+func (m *ClusterMiner) writeCheckpoint(t BlockID) error {
+	m.io.Begin()
+	rollback := func(err error) error { m.io.Rollback(); return err }
+	if err := m.io.Put(clusterCheckpointPrefix+"/tree", m.plus.EncodeState()); err != nil {
+		return rollback(fmt.Errorf("demon: saving cluster checkpoint: %w", err))
+	}
+	fp := clusterConfigFingerprint(m.cfg.K, m.cfg.treeConfig())
+	if err := m.io.Put(clusterCheckpointPrefix+"/config", fp); err != nil {
+		return rollback(fmt.Errorf("demon: saving cluster checkpoint: %w", err))
+	}
+	meta := checkpointMeta{t: t, totalTx: m.plus.NumPoints()}
+	if err := putCheckpointMeta(m.io, clusterCheckpointPrefix, meta); err != nil {
+		return rollback(err)
+	}
+	return m.io.Commit()
+}
+
+// RestoreClusterMiner rebuilds a cluster miner from a checkpoint previously
+// written to cfg.Store by Checkpoint. K and the CF-tree parameters must
+// match the original configuration; a mismatch is rejected.
+func RestoreClusterMiner(cfg ClusterMinerConfig) (*ClusterMiner, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("demon: restoring requires the original Store")
+	}
+	if err := recoverStore(cfg.Store); err != nil {
+		return nil, err
+	}
+	meta, err := getCheckpointMeta(cfg.Store, clusterCheckpointPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("demon: cluster-miner checkpoint: %w", err)
+	}
+	fp, err := cfg.Store.Get(clusterCheckpointPrefix + "/config")
+	if err != nil {
+		return nil, fmt.Errorf("demon: cluster-miner checkpoint config: %w", err)
+	}
+	if want := clusterConfigFingerprint(cfg.K, cfg.treeConfig()); string(fp) != string(want) {
+		return nil, fmt.Errorf("demon: checkpoint was taken under a different cluster configuration "+
+			"(K or CF-tree parameters changed); restore with the original K=%d/tree settings", cfg.K)
+	}
+	state, err := cfg.Store.Get(clusterCheckpointPrefix + "/tree")
+	if err != nil {
+		return nil, fmt.Errorf("demon: cluster-miner checkpoint tree: %w", err)
+	}
+	m, err := NewClusterMiner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if m.plus, err = birch.RestorePlus(birch.Config{Tree: cfg.treeConfig(), K: cfg.K}, state); err != nil {
+		return nil, err
+	}
+	m.snap = blockseq.Snapshot{T: meta.t}
+	return m, nil
+}
+
+// ResumeClusterMiner opens a cluster miner over cfg.Store, restoring from a
+// checkpoint when one exists and starting fresh otherwise. A corrupt
+// checkpoint is an error, never a silent fresh start.
+func ResumeClusterMiner(cfg ClusterMinerConfig) (*ClusterMiner, error) {
+	if cfg.Store == nil {
+		return NewClusterMiner(cfg)
+	}
+	_, err := getCheckpointMeta(cfg.Store, clusterCheckpointPrefix)
+	switch {
+	case errors.Is(err, diskio.ErrNotFound):
+		return NewClusterMiner(cfg)
+	case err != nil && !errors.Is(err, diskio.ErrCorrupt):
+		return nil, fmt.Errorf("demon: cluster-miner checkpoint: %w", err)
+	}
+	return RestoreClusterMiner(cfg)
 }

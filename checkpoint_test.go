@@ -1,8 +1,10 @@
 package demon
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -105,5 +107,164 @@ func TestRestoreWithoutCheckpoint(t *testing.T) {
 	}
 	if _, err := RestoreItemsetWindowMiner(ItemsetWindowMinerConfig{MinSupport: 0.1, WindowSize: 2}); err == nil {
 		t.Error("restored window miner without a store")
+	}
+}
+
+// Satellite: the meta record rejects trailing garbage and unknown versions
+// instead of silently misreading a future or damaged layout.
+func TestCheckpointMetaRejectsDamage(t *testing.T) {
+	store := NewMemStore()
+	m, err := NewItemsetMiner(ItemsetMinerConfig{MinSupport: 0.2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddBlock([][]Item{{1, 2}, {1, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	key := minerCheckpointPrefix + "/meta"
+	good, err := store.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := store.Put(key, append(append([]byte(nil), good...), 0xFF)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = RestoreItemsetMiner(ItemsetMinerConfig{MinSupport: 0.2, Store: store})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage: got %v, want ErrCorrupt", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing garbage error not descriptive: %v", err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 0x7E
+	if err := store.Put(key, bad); err != nil {
+		t.Fatal(err)
+	}
+	_, err = RestoreItemsetMiner(ItemsetMinerConfig{MinSupport: 0.2, Store: store})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown version: got %v, want ErrCorrupt", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version error not descriptive: %v", err)
+	}
+
+	if err := store.Put(key, good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreItemsetMiner(ItemsetMinerConfig{MinSupport: 0.2, Store: store}); err != nil {
+		t.Fatalf("restoring the undamaged meta: %v", err)
+	}
+}
+
+// Satellite: restoring a window checkpoint under a mismatched window size or
+// window-relative BSS must fail descriptively, not mis-restore slots.
+func TestRestoreWindowMinerConfigMismatch(t *testing.T) {
+	feed := func(m *ItemsetWindowMiner) {
+		t.Helper()
+		for i := 0; i < 4; i++ {
+			if _, err := m.AddBlock([][]Item{{1, 2, 3}, {2, 3}, {1, 3}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	store := NewMemStore()
+	m, err := NewItemsetWindowMiner(ItemsetWindowMinerConfig{MinSupport: 0.2, WindowSize: 3, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(m)
+	_, err = RestoreItemsetWindowMiner(ItemsetWindowMinerConfig{MinSupport: 0.2, WindowSize: 4, Store: store})
+	if err == nil || !strings.Contains(err.Error(), "window size") {
+		t.Fatalf("window size mismatch: got %v", err)
+	}
+
+	rel, err := ParseWindowRelBSS("101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store = NewMemStore()
+	if m, err = NewItemsetWindowMiner(ItemsetWindowMinerConfig{MinSupport: 0.2, WindowRelBSS: rel, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	feed(m)
+	other, err := ParseWindowRelBSS("110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RestoreItemsetWindowMiner(ItemsetWindowMinerConfig{MinSupport: 0.2, WindowRelBSS: other, Store: store})
+	if err == nil || !strings.Contains(err.Error(), "BSS") {
+		t.Fatalf("BSS mismatch: got %v", err)
+	}
+	// Same window size but plain window-independent selection: still a
+	// different model collection, still rejected.
+	_, err = RestoreItemsetWindowMiner(ItemsetWindowMinerConfig{MinSupport: 0.2, WindowSize: 3, Store: store})
+	if err == nil || !strings.Contains(err.Error(), "BSS") {
+		t.Fatalf("BSS-vs-plain mismatch: got %v", err)
+	}
+}
+
+func TestClusterMinerCheckpointRestore(t *testing.T) {
+	store := NewMemStore()
+	cfg := ClusterMinerConfig{K: 2, Store: store, Tree: TreeConfig{Branching: 3, LeafEntries: 4, MaxLeafEntriesTotal: 32}}
+	m, err := NewClusterMiner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		var pts []Point
+		for i := 0; i < 20; i++ {
+			c := float64((b*20 + i) % 2 * 10)
+			pts = append(pts, Point{c + float64(i%5)/10, c - float64(i%3)/10})
+		}
+		if _, err := m.AddBlock(pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := RestoreClusterMiner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != m.T() {
+		t.Fatalf("restored T = %d, want %d", r.T(), m.T())
+	}
+	if r.NumSubClusters() != m.NumSubClusters() {
+		t.Fatalf("restored sub-clusters = %d, want %d", r.NumSubClusters(), m.NumSubClusters())
+	}
+	want, err := m.Clusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Clusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored clusters diverge:\n got %v\nwant %v", got, want)
+	}
+
+	// A different K or tree parameterization must be rejected.
+	bad := cfg
+	bad.K = 3
+	if _, err := RestoreClusterMiner(bad); err == nil || !strings.Contains(err.Error(), "configuration") {
+		t.Fatalf("K mismatch: got %v", err)
+	}
+	bad = cfg
+	bad.Tree.Branching = 4
+	if _, err := RestoreClusterMiner(bad); err == nil || !strings.Contains(err.Error(), "configuration") {
+		t.Fatalf("tree mismatch: got %v", err)
 	}
 }

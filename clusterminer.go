@@ -7,6 +7,7 @@ import (
 	"github.com/demon-mining/demon/internal/birch"
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/cf"
+	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/gemm"
 )
 
@@ -39,6 +40,14 @@ type ClusterMinerConfig struct {
 	// Tree overrides the CF-tree parameters; the zero value selects the
 	// defaults (branching 8, 16 leaf entries per node, 512 sub-clusters).
 	Tree cf.TreeConfig
+	// Store optionally persists point blocks and checkpoints. Without one
+	// the miner is purely in-memory and cannot checkpoint.
+	Store Store
+	// AutoCheckpointEvery checkpoints the resident CF-tree automatically
+	// after every N-th block, inside the same atomic transaction as the
+	// block itself. Requires Store; zero or negative disables automatic
+	// checkpoints.
+	AutoCheckpointEvery int
 }
 
 func (c ClusterMinerConfig) treeConfig() cf.TreeConfig {
@@ -53,12 +62,16 @@ func (c ClusterMinerConfig) treeConfig() cf.TreeConfig {
 // sub-clusters stays resident and each new block is scanned exactly once.
 type ClusterMiner struct {
 	cfg  ClusterMinerConfig
+	io   *diskio.TxnStore  // cfg.Store wrapped with transactions; nil when in-memory
+	pts  *birch.PointStore // over m.io; nil when in-memory
 	plus *birch.Plus
 	snap blockseq.Snapshot
 	bss  BSS
+	err  error
 }
 
-// NewClusterMiner creates a miner over an empty database.
+// NewClusterMiner creates a miner over an empty database. With a configured
+// Store, incomplete transactions left by a crash are recovered first.
 func NewClusterMiner(cfg ClusterMinerConfig) (*ClusterMiner, error) {
 	plus, err := birch.NewPlus(birch.Config{Tree: cfg.treeConfig(), K: cfg.K})
 	if err != nil {
@@ -68,23 +81,74 @@ func NewClusterMiner(cfg ClusterMinerConfig) (*ClusterMiner, error) {
 	if bss == nil {
 		bss = AllBlocks()
 	}
-	return &ClusterMiner{cfg: cfg, plus: plus, bss: bss}, nil
+	m := &ClusterMiner{cfg: cfg, plus: plus, bss: bss}
+	if cfg.Store != nil {
+		if err := recoverStore(cfg.Store); err != nil {
+			return nil, err
+		}
+		m.io = diskio.NewTxnStore(cfg.Store)
+		m.pts = birch.NewPointStore(m.io)
+	}
+	return m, nil
+}
+
+// unusable reports the sticky failure; see ItemsetMiner.unusable.
+func (m *ClusterMiner) unusable() error {
+	return fmt.Errorf("demon: miner unusable after failed block (resume from the last checkpoint): %w", m.err)
 }
 
 // AddBlock appends the next block of points; when the BSS selects it, the
 // resident sub-cluster set absorbs it (one scan). It returns the response
 // time of the scan.
-func (m *ClusterMiner) AddBlock(points []Point) (time.Duration, error) {
+//
+// With a configured Store, the point block and the automatic checkpoint
+// (when one is due) commit as a single atomic transaction; on error the
+// miner becomes unusable and must be reopened with ResumeClusterMiner.
+func (m *ClusterMiner) AddBlock(points []Point) (elapsed time.Duration, err error) {
+	if m.err != nil {
+		return 0, m.unusable()
+	}
 	snap, id := m.snap.Append()
+
+	if m.io == nil {
+		m.snap = snap
+		if !m.bss.Bit(id) {
+			return 0, nil
+		}
+		start := time.Now()
+		if err := m.plus.AddBlock(points); err != nil {
+			return 0, fmt.Errorf("demon: clustering block %d: %w", id, err)
+		}
+		return time.Since(start), nil
+	}
+
+	m.io.Begin()
+	defer func() {
+		if err != nil {
+			m.io.Rollback()
+			m.err = err
+		}
+	}()
+	if err := m.pts.Put(&birch.PointBlock{ID: id, Points: points}); err != nil {
+		return 0, fmt.Errorf("demon: storing point block %d: %w", id, err)
+	}
+	if m.bss.Bit(id) {
+		start := time.Now()
+		if err := m.plus.AddBlock(points); err != nil {
+			return 0, fmt.Errorf("demon: clustering block %d: %w", id, err)
+		}
+		elapsed = time.Since(start)
+	}
+	if n := m.cfg.AutoCheckpointEvery; n > 0 && int(id)%n == 0 {
+		if err := m.writeCheckpoint(id); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.io.Commit(); err != nil {
+		return 0, err
+	}
 	m.snap = snap
-	if !m.bss.Bit(id) {
-		return 0, nil
-	}
-	start := time.Now()
-	if err := m.plus.AddBlock(points); err != nil {
-		return 0, fmt.Errorf("demon: clustering block %d: %w", id, err)
-	}
-	return time.Since(start), nil
+	return elapsed, nil
 }
 
 // Clusters runs BIRCH phase 2 on the resident sub-clusters and returns the

@@ -5,6 +5,13 @@
 //
 //	demon-cluster -k 5 data/block-*.txt
 //	demon-cluster -k 5 -window 3 data/block-*.txt
+//
+// With -store DIR the unrestricted miner keeps its point blocks and CF-tree
+// checkpoints in a crash-safe on-disk store; -checkpoint-every N checkpoints
+// every N blocks atomically with the block, -resume restores the last
+// checkpoint and skips the block files already ingested, and -scrub verifies
+// every record's checksum first (usable alone, without block files). The
+// window miner (-window > 0) is in-memory only and rejects these flags.
 package main
 
 import (
@@ -22,9 +29,13 @@ func main() {
 	window := flag.Int("window", 0, "most recent window size w (0 = unrestricted window)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
+	storeDir := flag.String("store", "", "keep state in a crash-safe on-disk store under this directory")
+	resume := flag.Bool("resume", false, "restore the last checkpoint from -store and skip already-ingested block files")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint automatically every N blocks (requires -store)")
+	scrub := flag.Bool("scrub", false, "verify every record checksum in -store before mining, quarantining corrupt ones")
 	flag.Parse()
 
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && !(*scrub && *storeDir != "") {
 		fmt.Fprintln(os.Stderr, "demon-cluster: no block files given")
 		os.Exit(2)
 	}
@@ -37,7 +48,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*k, *window, flag.Args()); err != nil {
+	if err := run(*k, *window, *storeDir, *resume, *ckptEvery, *scrub, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-cluster:", err)
 		os.Exit(1)
 	}
@@ -49,11 +60,16 @@ func main() {
 	}
 }
 
-func run(k, window int, files []string) error {
+func run(k, window int, storeDir string, resume bool, ckptEvery int, scrub bool, files []string) error {
 	var addBlock func(pts []demon.Point) error
 	var clusters func() ([]demon.Cluster, error)
+	var checkpoint func() error
+	var ingested func() demon.BlockID
 
 	if window > 0 {
+		if storeDir != "" || resume || ckptEvery > 0 || scrub {
+			return fmt.Errorf("the window cluster miner is in-memory only; -store/-resume/-checkpoint-every/-scrub require the unrestricted window")
+		}
 		m, err := demon.NewClusterWindowMiner(demon.ClusterWindowMinerConfig{K: k, WindowSize: window})
 		if err != nil {
 			return err
@@ -66,8 +82,39 @@ func run(k, window int, files []string) error {
 			return nil
 		}
 		clusters = m.Clusters
+		ingested = m.T
 	} else {
-		m, err := demon.NewClusterMiner(demon.ClusterMinerConfig{K: k})
+		if (resume || ckptEvery > 0 || scrub) && storeDir == "" {
+			return fmt.Errorf("-resume, -checkpoint-every and -scrub require -store")
+		}
+		cfg := demon.ClusterMinerConfig{K: k, AutoCheckpointEvery: ckptEvery}
+		if storeDir != "" {
+			store, err := demon.NewDurableFileStore(storeDir)
+			if err != nil {
+				return err
+			}
+			if scrub {
+				rep, err := demon.ScrubStore(store, "")
+				if err != nil {
+					return err
+				}
+				fmt.Printf("scrub: %d records checked, %d quarantined\n", rep.Checked, len(rep.Quarantined))
+				for _, key := range rep.Quarantined {
+					fmt.Printf("scrub: quarantined %s\n", key)
+				}
+			}
+			cfg.Store = store
+		}
+		if len(files) == 0 {
+			return nil // -scrub only
+		}
+		var m *demon.ClusterMiner
+		var err error
+		if resume {
+			m, err = demon.ResumeClusterMiner(cfg)
+		} else {
+			m, err = demon.NewClusterMiner(cfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -81,6 +128,18 @@ func run(k, window int, files []string) error {
 			return nil
 		}
 		clusters = m.Clusters
+		checkpoint = m.Checkpoint
+		ingested = m.T
+	}
+
+	// On resume, block files the checkpoint already covers are skipped; the
+	// files must be passed in the same order as the original run.
+	if done := int(ingested()); done > 0 {
+		if done > len(files) {
+			done = len(files)
+		}
+		fmt.Printf("resumed at block %d: skipping %d already-ingested file(s)\n", ingested(), done)
+		files = files[done:]
 	}
 
 	for _, path := range files {
@@ -91,6 +150,13 @@ func run(k, window int, files []string) error {
 		if err := addBlock(pts); err != nil {
 			return err
 		}
+	}
+
+	if checkpoint != nil && storeDir != "" {
+		if err := checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("checkpointed at block %d\n", ingested())
 	}
 
 	cs, err := clusters()

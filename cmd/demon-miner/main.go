@@ -13,6 +13,19 @@
 // With -window w the most recent window option is used; -bss optionally
 // gives a window-relative bit string of length w. After each block the tool
 // prints a maintenance report, and at the end the frequent itemsets.
+//
+// With -store DIR state goes to a crash-safe on-disk store (atomic writes,
+// checksummed records, retry on transient errors) and a checkpoint is taken
+// at the end; -checkpoint-every N additionally checkpoints every N blocks,
+// atomically with the block itself. -resume reopens the store, restores the
+// last checkpoint, and skips the block files already ingested:
+//
+//	demon-miner -minsup 0.01 -store state/ -checkpoint-every 10 data/block-*.txt
+//	demon-miner -minsup 0.01 -store state/ -resume data/block-*.txt
+//	demon-miner -store state/ -scrub
+//
+// -scrub verifies every record's checksum first, quarantining corrupt ones,
+// and may be used alone (no block files) to audit a store.
 package main
 
 import (
@@ -37,9 +50,14 @@ func main() {
 	minconf := flag.Float64("rules", 0, "also print association rules at this minimum confidence (0 = off)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
+	storeDir := flag.String("store", "", "keep state in a crash-safe on-disk store under this directory")
+	resume := flag.Bool("resume", false, "restore the last checkpoint from -store and skip already-ingested block files")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint automatically every N blocks (requires -store)")
+	scrub := flag.Bool("scrub", false, "verify every record checksum in -store before mining, quarantining corrupt ones")
 	flag.Parse()
 
-	if flag.NArg() == 0 {
+	dur := durability{dir: *storeDir, resume: *resume, every: *ckptEvery, scrub: *scrub}
+	if flag.NArg() == 0 && !(*scrub && *storeDir != "") {
 		fmt.Fprintln(os.Stderr, "demon-miner: no block files given")
 		os.Exit(2)
 	}
@@ -52,7 +70,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*minsup, *strategy, *window, *bss, *every, *offset, *top, *minconf, flag.Args()); err != nil {
+	if err := run(*minsup, *strategy, *window, *bss, *every, *offset, *top, *minconf, dur, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-miner:", err)
 		os.Exit(1)
 	}
@@ -79,7 +97,48 @@ func parseStrategy(s string) (demon.CountingStrategy, error) {
 	}
 }
 
-func run(minsup float64, strategyName string, window int, bssStr string, every, offset, top int, minconf float64, files []string) error {
+// durability bundles the crash-safety flags.
+type durability struct {
+	dir    string
+	resume bool
+	every  int
+	scrub  bool
+}
+
+// openStore builds the configured store: the durable on-disk stack when -store
+// was given, a plain in-memory store otherwise. With -scrub it verifies every
+// record first and prints the report.
+func (d durability) openStore() (demon.Store, error) {
+	if d.resume && d.dir == "" {
+		return nil, fmt.Errorf("-resume requires -store")
+	}
+	if d.every > 0 && d.dir == "" {
+		return nil, fmt.Errorf("-checkpoint-every requires -store")
+	}
+	if d.scrub && d.dir == "" {
+		return nil, fmt.Errorf("-scrub requires -store")
+	}
+	if d.dir == "" {
+		return demon.NewMemStore(), nil
+	}
+	store, err := demon.NewDurableFileStore(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	if d.scrub {
+		rep, err := demon.ScrubStore(store, "")
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("scrub: %d records checked, %d quarantined\n", rep.Checked, len(rep.Quarantined))
+		for _, k := range rep.Quarantined {
+			fmt.Printf("scrub: quarantined %s\n", k)
+		}
+	}
+	return store, nil
+}
+
+func run(minsup float64, strategyName string, window int, bssStr string, every, offset, top int, minconf float64, dur durability, files []string) error {
 	strategy, err := parseStrategy(strategyName)
 	if err != nil {
 		return err
@@ -91,20 +150,29 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 
 	// One explicit store for the whole run so its I/O counters show up in
 	// the metrics snapshot next to the compute-phase timers.
-	store := demon.NewMemStore()
+	store, err := dur.openStore()
+	if err != nil {
+		return err
+	}
 	diskio.Observe(obs.Default(), "store", store)
+	if len(files) == 0 {
+		return nil // -scrub only
+	}
 
 	var addBlock func(rows [][]demon.Item) error
 	var frequents func() []demon.ItemsetSupport
 	var rules func(float64) ([]demon.Rule, error)
+	var checkpoint func() error
+	var ingested func() demon.BlockID
 
 	if window > 0 {
 		cfg := demon.ItemsetWindowMinerConfig{
-			MinSupport: minsup,
-			Strategy:   strategy,
-			WindowSize: window,
-			BSS:        indep,
-			Store:      store,
+			MinSupport:          minsup,
+			Strategy:            strategy,
+			WindowSize:          window,
+			BSS:                 indep,
+			Store:               store,
+			AutoCheckpointEvery: dur.every,
 		}
 		if bssStr != "" {
 			rel, err := demon.ParseWindowRelBSS(bssStr)
@@ -117,7 +185,12 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 			cfg.WindowRelBSS = rel
 			cfg.WindowSize = 0
 		}
-		m, err := demon.NewItemsetWindowMiner(cfg)
+		var m *demon.ItemsetWindowMiner
+		if dur.resume {
+			m, err = demon.ResumeItemsetWindowMiner(cfg)
+		} else {
+			m, err = demon.NewItemsetWindowMiner(cfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -132,16 +205,25 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 		}
 		frequents = m.FrequentItemsets
 		rules = m.Rules
+		checkpoint = m.Checkpoint
+		ingested = m.T
 	} else {
 		if bssStr != "" {
 			return fmt.Errorf("-bss requires -window")
 		}
-		m, err := demon.NewItemsetMiner(demon.ItemsetMinerConfig{
-			MinSupport: minsup,
-			Strategy:   strategy,
-			BSS:        indep,
-			Store:      store,
-		})
+		cfg := demon.ItemsetMinerConfig{
+			MinSupport:          minsup,
+			Strategy:            strategy,
+			BSS:                 indep,
+			Store:               store,
+			AutoCheckpointEvery: dur.every,
+		}
+		var m *demon.ItemsetMiner
+		if dur.resume {
+			m, err = demon.ResumeItemsetMiner(cfg)
+		} else {
+			m, err = demon.NewItemsetMiner(cfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -157,6 +239,18 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 		}
 		frequents = m.FrequentItemsets
 		rules = m.Rules
+		checkpoint = m.Checkpoint
+		ingested = m.T
+	}
+
+	// On resume, block files the checkpoint already covers are skipped; the
+	// files must be passed in the same order as the original run.
+	if done := int(ingested()); done > 0 {
+		if done > len(files) {
+			done = len(files)
+		}
+		fmt.Printf("resumed at block %d: skipping %d already-ingested file(s)\n", ingested(), done)
+		files = files[done:]
 	}
 
 	for _, path := range files {
@@ -167,6 +261,13 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 		if err := addBlock(rows); err != nil {
 			return err
 		}
+	}
+
+	if dur.dir != "" {
+		if err := checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("checkpointed at block %d\n", ingested())
 	}
 
 	fi := frequents()

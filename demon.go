@@ -40,6 +40,8 @@
 package demon
 
 import (
+	"fmt"
+
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/cf"
 	"github.com/demon-mining/demon/internal/diskio"
@@ -92,6 +94,14 @@ func ParseWindowRelBSS(s string) (WindowRelBSS, error) { return blockseq.ParseWi
 // Point is an n-dimensional point for the clustering miners.
 type Point = cf.Point
 
+// TreeConfig parameterizes the CF-tree of the clustering miners; see
+// ClusterMinerConfig.Tree.
+type TreeConfig = cf.TreeConfig
+
+// DefaultTreeConfig returns the CF-tree defaults the clustering miners use
+// when ClusterMinerConfig.Tree is left zero.
+func DefaultTreeConfig() TreeConfig { return cf.DefaultTreeConfig() }
+
 // Store is the persistence interface blocks and TID-lists are stored
 // through; see NewMemStore and NewFileStore.
 type Store = diskio.Store
@@ -102,6 +112,46 @@ func NewMemStore() Store { return diskio.NewMemStore() }
 
 // NewFileStore returns a Store writing one file per object under dir.
 func NewFileStore(dir string) (Store, error) { return diskio.NewFileStore(dir) }
+
+// NewDurableFileStore returns the crash-safe production stack over dir: a
+// file store (atomic temp-file+rename+fsync writes) wrapped with retrying on
+// transient errors and CRC-checksummed record framing. Use it wherever a
+// miner's state must survive crashes and bit rot.
+func NewDurableFileStore(dir string) (Store, error) {
+	fs, err := diskio.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return diskio.NewChecksumStore(diskio.NewRetryStore(fs)), nil
+}
+
+// ErrCorrupt tags errors caused by damaged on-disk data — a failed checksum,
+// truncated framing, or malformed checkpoint metadata. Test with errors.Is.
+var ErrCorrupt = diskio.ErrCorrupt
+
+// RecoveryReport summarizes what RecoverStore did.
+type RecoveryReport = diskio.RecoveryReport
+
+// ScrubReport summarizes what ScrubStore did.
+type ScrubReport = diskio.ScrubReport
+
+// RecoverStore completes or rolls back transactions a crash left staged in
+// the store. The miners run it automatically on construction and resume;
+// call it directly only for offline inspection of a store.
+func RecoverStore(s Store) (*RecoveryReport, error) { return diskio.Recover(s) }
+
+// ScrubStore verifies the checksum of every record under prefix (all records
+// when prefix is empty), quarantining corrupt ones. The store must carry
+// checksummed framing, e.g. one from NewDurableFileStore.
+func ScrubStore(s Store, prefix string) (*ScrubReport, error) {
+	cs, ok := s.(interface {
+		Scrub(prefix string) (*diskio.ScrubReport, error)
+	})
+	if !ok {
+		return nil, fmt.Errorf("demon: store %T has no checksummed framing to scrub", s)
+	}
+	return cs.Scrub(prefix)
+}
 
 // StoreStats is the I/O counter snapshot of a Store.
 type StoreStats = diskio.Stats

@@ -3,6 +3,7 @@ package birch
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"github.com/demon-mining/demon/internal/cf"
@@ -329,5 +330,60 @@ func TestPhase2KMeansEdgeCases(t *testing.T) {
 	}
 	if m.N != 3 {
 		t.Fatalf("N = %d", m.N)
+	}
+}
+
+func TestPlusEncodeRestoreState(t *testing.T) {
+	cfg := Config{Tree: cf.TreeConfig{Branching: 3, LeafEntries: 4, MaxLeafEntriesTotal: 16}, K: 3}
+	p, err := NewPlus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	block := func() []cf.Point {
+		pts := make([]cf.Point, 40)
+		for i := range pts {
+			c := float64(i % 3 * 10)
+			pts[i] = cf.Point{c + rng.NormFloat64(), c + rng.NormFloat64()}
+		}
+		return pts
+	}
+	if err := p.AddBlock(block()); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := RestorePlus(cfg, p.EncodeState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPoints() != p.NumPoints() || r.NumSubClusters() != p.NumSubClusters() {
+		t.Fatalf("restored state: %d points %d subclusters, want %d/%d",
+			r.NumPoints(), r.NumSubClusters(), p.NumPoints(), p.NumSubClusters())
+	}
+	// Both absorb the next block identically.
+	b := block()
+	if err := p.AddBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := p.Clusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := r.Clusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mp, mr) {
+		t.Fatal("restored BIRCH+ diverges from original")
+	}
+
+	if _, err := RestorePlus(cfg, []byte{0xFF}); err == nil {
+		t.Fatal("restored from garbage state")
+	}
+	if _, err := RestorePlus(Config{Tree: cfg.Tree}, p.EncodeState()); err == nil {
+		t.Fatal("restored with k = 0")
 	}
 }

@@ -1,0 +1,26 @@
+package birch
+
+import (
+	"fmt"
+
+	"github.com/demon-mining/demon/internal/cf"
+)
+
+// EncodeState serializes the resident CF-tree — the whole incremental state
+// of BIRCH+ (phase 2 is recomputed on demand from the sub-clusters, so
+// nothing else needs to persist).
+func (p *Plus) EncodeState() []byte { return p.tree.Encode() }
+
+// RestorePlus rebuilds a BIRCH+ maintainer from EncodeState output. The
+// configuration must be the one the state was produced under; the restored
+// maintainer then behaves identically to one that never stopped.
+func RestorePlus(cfg Config, data []byte) (*Plus, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("birch: k = %d < 1", cfg.K)
+	}
+	tree, err := cf.DecodeTree(cfg.Tree, data)
+	if err != nil {
+		return nil, fmt.Errorf("birch: restoring state: %w", err)
+	}
+	return &Plus{cfg: cfg, tree: tree}, nil
+}

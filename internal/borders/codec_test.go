@@ -83,3 +83,28 @@ func TestModelStore(t *testing.T) {
 		t.Error("loaded missing slot")
 	}
 }
+
+func TestModelStoreSlots(t *testing.T) {
+	store := diskio.NewMemStore()
+	ms := NewModelStore(store, "ckpt")
+	m := &Model{Lattice: itemset.NewLattice(0.1)}
+	for _, slot := range []int{2, 0, 5} {
+		if err := ms.Save(slot, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unrelated keys under the prefix are not slots.
+	if err := store.Put("ckpt/model-extra", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("ckpt/meta", nil); err != nil {
+		t.Fatal(err)
+	}
+	slots, err := ms.Slots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 3 || slots[0] != 0 || slots[1] != 2 || slots[2] != 5 {
+		t.Fatalf("Slots = %v, want [0 2 5]", slots)
+	}
+}

@@ -3,6 +3,7 @@ package diskio
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -84,8 +85,138 @@ func TestFaultStoreKeyPredicate(t *testing.T) {
 	if err := f.Delete("tid/1/i1"); !errors.Is(err, ErrInjected) {
 		t.Fatalf("tid delete err = %v", err)
 	}
+	// Keys is a prefix scan, not a key-addressed operation: FailKey must not
+	// be conflated with the prefix. Targeting scans is FailOp's job.
+	if _, err := f.Keys("tid/"); err != nil {
+		t.Fatalf("Keys consulted FailKey with a prefix: %v", err)
+	}
+}
+
+func TestFaultStoreFailOp(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	f.FailOp = func(op Op, key string) bool { return op == OpKeys && strings.HasPrefix("tid/", key) }
+	if err := f.Put("tid/1/i1", nil); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := f.Keys("tid/"); !errors.Is(err, ErrInjected) {
-		t.Fatalf("tid keys err = %v", err)
+		t.Fatalf("targeted Keys err = %v, want injected", err)
+	}
+	if _, err := f.Get("tid/1/i1"); err != nil {
+		t.Fatalf("untargeted Get failed: %v", err)
+	}
+
+	f.FailOp = func(op Op, key string) bool { return op == OpDelete }
+	if err := f.Delete("tid/1/i1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("targeted Delete err = %v, want injected", err)
+	}
+	if _, err := f.Get("tid/1/i1"); err != nil {
+		t.Fatalf("untargeted Get failed: %v", err)
+	}
+}
+
+func TestFaultStoreProbabilistic(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	f.PFail = 0.5
+	f.Rand = rand.New(rand.NewSource(7))
+	fired := 0
+	for i := 0; i < 200; i++ {
+		if err := f.Put("k", nil); errors.Is(err, ErrInjected) {
+			fired++
+		}
+	}
+	if fired < 60 || fired > 140 {
+		t.Fatalf("PFail=0.5 fired %d/200 times", fired)
+	}
+	// Reproducible under the same seed.
+	f2 := NewFaultStore(NewMemStore())
+	f2.PFail = 0.5
+	f2.Rand = rand.New(rand.NewSource(7))
+	fired2 := 0
+	for i := 0; i < 200; i++ {
+		if err := f2.Put("k", nil); errors.Is(err, ErrInjected) {
+			fired2++
+		}
+	}
+	if fired2 != fired {
+		t.Fatalf("same seed fired %d vs %d times", fired2, fired)
+	}
+}
+
+func TestFaultStoreCrashMode(t *testing.T) {
+	inner := NewMemStore()
+	f := NewFaultStore(inner)
+	f.CrashAfter(2)
+	if err := f.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("b", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("c", []byte("z")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash op err = %v", err)
+	}
+	if !f.Dead() {
+		t.Fatal("store not dead after crash")
+	}
+	// Everything after the crash fails: the process is gone.
+	for i := 0; i < 5; i++ {
+		if _, err := f.Get("a"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("post-crash Get err = %v", err)
+		}
+		if err := f.Delete("a"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("post-crash Delete err = %v", err)
+		}
+	}
+	f.Revive()
+	if _, err := f.Get("a"); err != nil {
+		t.Fatalf("post-revive Get err = %v", err)
+	}
+	if got := f.Ops(); got == 0 {
+		t.Fatal("op counter not advancing")
+	}
+}
+
+func TestFaultStoreTornWrite(t *testing.T) {
+	inner := NewMemStore()
+	f := NewFaultStore(inner)
+	f.TornWrite = true
+	f.CrashAfter(0)
+	data := []byte("0123456789abcdef")
+	if err := f.Put("k", data); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn Put err = %v", err)
+	}
+	got, err := inner.Get("k")
+	if err != nil {
+		t.Fatalf("torn write persisted nothing: %v", err)
+	}
+	if len(got) == 0 || len(got) >= len(data) {
+		t.Fatalf("torn write persisted %d of %d bytes", len(got), len(data))
+	}
+	if string(got) != string(data[:len(got)]) {
+		t.Fatal("torn write is not a prefix of the data")
+	}
+	// Post-crash Puts must not touch the device again.
+	if err := f.Put("k2", data); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash Put err = %v", err)
+	}
+	if _, err := inner.Get("k2"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("dead store persisted a second torn write")
+	}
+}
+
+func TestFaultStoreTransientClassification(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	f.Transient = true
+	f.FailAfter(0)
+	err := f.Put("k", nil)
+	if !errors.Is(err, ErrInjected) || !IsTransient(err) {
+		t.Fatalf("transient injected err = %v", err)
+	}
+	f.Transient = false
+	f.FailAfter(0)
+	err = f.Put("k", nil)
+	if !errors.Is(err, ErrInjected) || IsTransient(err) {
+		t.Fatalf("permanent injected err = %v", err)
 	}
 }
 

@@ -204,7 +204,11 @@ func (s *FileStore) path(key string) (string, error) {
 	return filepath.Join(s.root, filepath.FromSlash(key)), nil
 }
 
-// Put implements Store.
+// Put implements Store. The write is durable and atomic at the file level:
+// data goes to a temp file that is fsynced before being renamed over the
+// final path, and the parent directory is fsynced so the rename itself
+// survives a crash. A reader therefore sees either the old value or the new
+// one, never a torn file — the property the commit protocol builds on.
 func (s *FileStore) Put(key string, data []byte) error {
 	p, err := s.path(key)
 	if err != nil {
@@ -217,14 +221,45 @@ func (s *FileStore) Put(key string, data []byte) error {
 		return fmt.Errorf("diskio: put %s: %w", key, err)
 	}
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskio: put %s: %w", key, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("diskio: put %s: %w", key, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("diskio: put %s: syncing: %w", key, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("diskio: put %s: %w", key, err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		return fmt.Errorf("diskio: put %s: %w", key, err)
 	}
+	if err := syncDir(filepath.Dir(p)); err != nil {
+		return fmt.Errorf("diskio: put %s: %w", key, err)
+	}
 	s.countWrite(len(data))
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get implements Store.

@@ -1,0 +1,496 @@
+package diskio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/demon-mining/demon/internal/obs"
+)
+
+// Atomic commit protocol. A transaction stages every Put under the
+// StagingPrefix key space, then commits by writing a small checksummed
+// manifest (the commit point), promoting the staged values to their final
+// keys, and cleaning up:
+//
+//	staging/<id>/data/<key>   staged value for <key>
+//	staging/<id>/manifest     framed list of puts and deletes — the commit point
+//
+// A crash before the manifest write leaves only staged keys, which Recover
+// rolls back; a crash after it leaves the manifest plus complete staged
+// data, which Recover rolls forward. Ingestion through a TxnStore is
+// therefore all-or-nothing: either every write of an AddBlock (block,
+// TID-lists, checkpoint) becomes visible, or none does.
+
+// StagingPrefix is the key prefix all in-flight transaction state lives
+// under. Nothing outside the transaction machinery writes here.
+const StagingPrefix = "staging/"
+
+// Quarantiner is implemented by stores that can move a corrupt value aside
+// instead of deleting it (see ChecksumStore.Quarantine).
+type Quarantiner interface {
+	Quarantine(key string) error
+}
+
+// TxnStore wraps a Store with transactions. Outside a transaction it is a
+// transparent proxy. Between Begin and Commit, Puts are staged, Deletes are
+// deferred, and reads observe the staged state, so multi-key updates
+// commit or roll back as a unit. Begin/Commit/Rollback must come from a
+// single goroutine (miners are not concurrent-safe), but reads through an
+// active transaction may be issued from many goroutines, as the parallel
+// counters do.
+type TxnStore struct {
+	inner Store
+
+	mu    sync.RWMutex
+	depth int             // nesting depth; inner Begins join the outer txn
+	seq   int             // id counter
+	id    string          // active txn id
+	puts  map[string]bool // final keys staged by this txn
+	order []string        // staged keys in first-write order (commit order)
+	dels  map[string]bool // keys deleted by this txn
+}
+
+// NewTxnStore wraps inner.
+func NewTxnStore(inner Store) *TxnStore {
+	return &TxnStore{inner: inner}
+}
+
+// Inner returns the wrapped store.
+func (s *TxnStore) Inner() Store { return s.inner }
+
+func stageDataKey(id, key string) string { return StagingPrefix + id + "/data/" + key }
+func stageManifestKey(id string) string  { return StagingPrefix + id + "/manifest" }
+
+// Begin starts a transaction. A Begin inside an active transaction joins
+// it: only the outermost Commit applies the writes, so a routine that is
+// itself transactional (Checkpoint) can be called both standalone and from
+// within a larger transaction (AddBlock).
+func (s *TxnStore) Begin() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.depth++
+	if s.depth > 1 {
+		return
+	}
+	s.seq++
+	s.id = fmt.Sprintf("txn-%06d", s.seq)
+	s.puts = make(map[string]bool)
+	s.order = nil
+	s.dels = make(map[string]bool)
+}
+
+// InTxn reports whether a transaction is active.
+func (s *TxnStore) InTxn() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.depth > 0
+}
+
+// Rollback aborts the whole active transaction (regardless of nesting
+// depth), deleting staged keys best-effort. Calling it with no active
+// transaction is a no-op, so it is safe in defer-on-error paths.
+func (s *TxnStore) Rollback() {
+	s.mu.Lock()
+	if s.depth == 0 {
+		s.mu.Unlock()
+		return
+	}
+	id, order := s.id, s.order
+	s.reset()
+	s.mu.Unlock()
+	// Best-effort: on a dying store (a crash) these deletes fail and the
+	// leftovers are rolled back by Recover on the next open.
+	for _, key := range order {
+		_ = s.inner.Delete(stageDataKey(id, key))
+	}
+	obs.Default().Counter("diskio.txn.rollback").Inc()
+}
+
+// reset clears transaction state; callers hold s.mu.
+func (s *TxnStore) reset() {
+	s.depth = 0
+	s.id = ""
+	s.puts = nil
+	s.order = nil
+	s.dels = nil
+}
+
+// Commit applies the transaction: manifest write (the commit point), staged
+// value promotion, deferred deletes, cleanup. An inner (nested) Commit just
+// decrements the depth. If Commit returns an error after the manifest was
+// written, the transaction is durable despite the error — Recover rolls it
+// forward on the next open — so callers must not assume a failed Commit
+// means a rolled-back transaction; they should discard in-memory state and
+// restore.
+func (s *TxnStore) Commit() error {
+	s.mu.Lock()
+	if s.depth == 0 {
+		s.mu.Unlock()
+		return errors.New("diskio: Commit without Begin")
+	}
+	if s.depth > 1 {
+		s.depth--
+		s.mu.Unlock()
+		return nil
+	}
+	id, order, dels := s.id, s.order, s.dels
+	s.reset()
+	s.mu.Unlock()
+
+	if len(order) == 0 && len(dels) == 0 {
+		return nil
+	}
+
+	delKeys := make([]string, 0, len(dels))
+	for k := range dels {
+		delKeys = append(delKeys, k)
+	}
+	sort.Strings(delKeys)
+
+	// Commit point: the framed manifest makes a torn manifest write
+	// detectable even when the underlying store does not checksum values.
+	if err := s.inner.Put(stageManifestKey(id), Frame(encodeManifest(order, delKeys))); err != nil {
+		for _, key := range order {
+			_ = s.inner.Delete(stageDataKey(id, key))
+		}
+		return fmt.Errorf("diskio: txn %s: writing manifest: %w", id, err)
+	}
+	// Promote staged values. On failure the manifest stays; Recover
+	// completes the promotion.
+	for _, key := range order {
+		data, err := s.inner.Get(stageDataKey(id, key))
+		if err != nil {
+			return fmt.Errorf("diskio: txn %s: reading staged %s: %w", id, key, err)
+		}
+		if err := s.inner.Put(key, data); err != nil {
+			return fmt.Errorf("diskio: txn %s: promoting %s: %w", id, key, err)
+		}
+	}
+	for _, key := range delKeys {
+		if err := s.inner.Delete(key); err != nil {
+			return fmt.Errorf("diskio: txn %s: deleting %s: %w", id, key, err)
+		}
+	}
+	// Cleanup: manifest first, staged data after, so a crash in between
+	// leaves manifest-less staged keys that Recover can discard safely.
+	if err := s.inner.Delete(stageManifestKey(id)); err != nil {
+		return fmt.Errorf("diskio: txn %s: removing manifest: %w", id, err)
+	}
+	for _, key := range order {
+		if err := s.inner.Delete(stageDataKey(id, key)); err != nil {
+			return fmt.Errorf("diskio: txn %s: removing staged %s: %w", id, key, err)
+		}
+	}
+	obs.Default().Counter("diskio.txn.commit").Inc()
+	return nil
+}
+
+// Put implements Store. Inside a transaction the write is staged.
+func (s *TxnStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	if s.depth == 0 {
+		s.mu.Unlock()
+		return s.inner.Put(key, data)
+	}
+	if strings.HasPrefix(key, StagingPrefix) {
+		s.mu.Unlock()
+		return fmt.Errorf("diskio: key %q under reserved prefix %q", key, StagingPrefix)
+	}
+	id := s.id
+	if !s.puts[key] {
+		s.puts[key] = true
+		s.order = append(s.order, key)
+	}
+	delete(s.dels, key)
+	s.mu.Unlock()
+	return s.inner.Put(stageDataKey(id, key), data)
+}
+
+// Get implements Store, observing staged writes of the active transaction.
+func (s *TxnStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	if s.depth == 0 {
+		s.mu.RUnlock()
+		return s.inner.Get(key)
+	}
+	staged, deleted, id := s.puts[key], s.dels[key], s.id
+	s.mu.RUnlock()
+	if staged {
+		return s.inner.Get(stageDataKey(id, key))
+	}
+	if deleted {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return s.inner.Get(key)
+}
+
+// Size implements Store, observing staged writes of the active transaction.
+func (s *TxnStore) Size(key string) (int64, error) {
+	s.mu.RLock()
+	if s.depth == 0 {
+		s.mu.RUnlock()
+		return s.inner.Size(key)
+	}
+	staged, deleted, id := s.puts[key], s.dels[key], s.id
+	s.mu.RUnlock()
+	if staged {
+		return s.inner.Size(stageDataKey(id, key))
+	}
+	if deleted {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return s.inner.Size(key)
+}
+
+// Delete implements Store. Inside a transaction the delete is deferred to
+// commit time.
+func (s *TxnStore) Delete(key string) error {
+	s.mu.Lock()
+	if s.depth == 0 {
+		s.mu.Unlock()
+		return s.inner.Delete(key)
+	}
+	id := s.id
+	wasStaged := s.puts[key]
+	if wasStaged {
+		delete(s.puts, key)
+		for i, k := range s.order {
+			if k == key {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.dels[key] = true
+	s.mu.Unlock()
+	if wasStaged {
+		return s.inner.Delete(stageDataKey(id, key))
+	}
+	return nil
+}
+
+// Keys implements Store, merging staged writes over the committed state and
+// hiding the transaction's own staging keys.
+func (s *TxnStore) Keys(prefix string) ([]string, error) {
+	s.mu.RLock()
+	if s.depth == 0 {
+		s.mu.RUnlock()
+		return s.inner.Keys(prefix)
+	}
+	staged := make([]string, 0, len(s.order))
+	for _, k := range s.order {
+		if strings.HasPrefix(k, prefix) {
+			staged = append(staged, k)
+		}
+	}
+	dels := make(map[string]bool, len(s.dels))
+	for k := range s.dels {
+		dels[k] = true
+	}
+	s.mu.RUnlock()
+
+	inner, err := s.inner.Keys(prefix)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(inner)+len(staged))
+	var out []string
+	for _, k := range inner {
+		if strings.HasPrefix(k, StagingPrefix) || dels[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	for _, k := range staged {
+		if !seen[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats implements Store.
+func (s *TxnStore) Stats() Stats { return s.inner.Stats() }
+
+// ResetStats implements Store.
+func (s *TxnStore) ResetStats() { s.inner.ResetStats() }
+
+// encodeManifest serializes the put and delete key lists.
+func encodeManifest(puts, dels []string) []byte {
+	buf := AppendUvarint(nil, uint64(len(puts)))
+	for _, k := range puts {
+		buf = AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	buf = AppendUvarint(buf, uint64(len(dels)))
+	for _, k := range dels {
+		buf = AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+func decodeManifest(buf []byte) (puts, dels []string, err error) {
+	readList := func(buf []byte) ([]string, []byte, error) {
+		n, buf, err := ReadUvarint(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n > uint64(len(buf)) {
+			return nil, nil, fmt.Errorf("%w: implausible manifest length %d", ErrCorrupt, n)
+		}
+		out := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			l, rest, err := ReadUvarint(buf)
+			if err != nil {
+				return nil, nil, err
+			}
+			if l > uint64(len(rest)) {
+				return nil, nil, fmt.Errorf("%w: truncated manifest key", ErrCorrupt)
+			}
+			out = append(out, string(rest[:l]))
+			buf = rest[l:]
+		}
+		return out, buf, nil
+	}
+	puts, buf, err = readList(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	dels, buf, err = readList(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(buf) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing manifest bytes", ErrCorrupt, len(buf))
+	}
+	return puts, dels, nil
+}
+
+// RecoveryReport describes what Recover found and did.
+type RecoveryReport struct {
+	// RolledForward lists transaction ids whose manifest was present: their
+	// staged writes were (re-)promoted to completion.
+	RolledForward []string
+	// RolledBack lists transaction ids with staged data but no readable
+	// manifest: their staged writes were discarded.
+	RolledBack []string
+	// Quarantined lists keys whose bytes failed verification during
+	// recovery and were preserved under QuarantinePrefix (when the store
+	// supports quarantining) before removal from the live key space.
+	Quarantined []string
+}
+
+// Clean reports whether recovery had nothing to do.
+func (r *RecoveryReport) Clean() bool {
+	return len(r.RolledForward) == 0 && len(r.RolledBack) == 0 && len(r.Quarantined) == 0
+}
+
+// Recover restores the invariants of the atomic commit protocol after a
+// crash: transactions whose manifest was durably written are rolled forward
+// (their staged values re-promoted — promotion is idempotent), and
+// incomplete transactions are rolled back (staged values deleted). Corrupt
+// manifests or staged values are quarantined when the store supports it.
+// Recover must run before new transactions are started on the store; the
+// miners call it when they open or restore.
+func Recover(s Store) (*RecoveryReport, error) {
+	keys, err := s.Keys(StagingPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("diskio: recover: %w", err)
+	}
+	rep := &RecoveryReport{}
+	if len(keys) == 0 {
+		return rep, nil
+	}
+
+	// Group staged keys by transaction id.
+	byTxn := make(map[string][]string)
+	var ids []string
+	for _, k := range keys {
+		rest := strings.TrimPrefix(k, StagingPrefix)
+		id, _, ok := strings.Cut(rest, "/")
+		if !ok {
+			// Stray key directly under staging/: remove it.
+			if err := s.Delete(k); err != nil {
+				return rep, fmt.Errorf("diskio: recover: %w", err)
+			}
+			continue
+		}
+		if _, seen := byTxn[id]; !seen {
+			ids = append(ids, id)
+		}
+		byTxn[id] = append(byTxn[id], k)
+	}
+	sort.Strings(ids)
+
+	quarantineOrDelete := func(key string) error {
+		if q, ok := s.(Quarantiner); ok {
+			if err := q.Quarantine(key); err == nil {
+				rep.Quarantined = append(rep.Quarantined, key)
+				return nil
+			}
+		}
+		return s.Delete(key)
+	}
+
+	for _, id := range ids {
+		manifestKey := stageManifestKey(id)
+		var puts []string
+		committed := false
+		if raw, err := s.Get(manifestKey); err == nil {
+			if payload, uerr := Unframe(raw); uerr == nil {
+				if p, _, derr := decodeManifest(payload); derr == nil {
+					puts, committed = p, true
+				}
+			}
+		} else if !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrCorrupt) {
+			return rep, fmt.Errorf("diskio: recover txn %s: %w", id, err)
+		}
+
+		if committed {
+			// Roll forward: re-promote every staged value. A staged value
+			// that fails verification is quarantined and reported — it
+			// cannot be promoted, and the damage must not be silent.
+			for _, key := range puts {
+				data, err := s.Get(stageDataKey(id, key))
+				switch {
+				case err == nil:
+					if err := s.Put(key, data); err != nil {
+						return rep, fmt.Errorf("diskio: recover txn %s: promoting %s: %w", id, key, err)
+					}
+				case errors.Is(err, ErrCorrupt):
+					obs.Default().Counter("diskio.corrupt.detected").Inc()
+					if err := quarantineOrDelete(stageDataKey(id, key)); err != nil {
+						return rep, fmt.Errorf("diskio: recover txn %s: %w", id, err)
+					}
+				case errors.Is(err, ErrNotFound):
+					// Already cleaned up by a previous partial recovery.
+				default:
+					return rep, fmt.Errorf("diskio: recover txn %s: staged %s: %w", id, key, err)
+				}
+			}
+			rep.RolledForward = append(rep.RolledForward, id)
+		} else {
+			rep.RolledBack = append(rep.RolledBack, id)
+		}
+
+		// Clean up all staged keys of the transaction. Leftovers of
+		// uncommitted transactions — including a torn manifest — are
+		// expected crash debris carrying no committed data, so plain
+		// deletion is the complete recovery, not a loss.
+		for _, k := range byTxn[id] {
+			if err := s.Delete(k); err != nil {
+				return rep, fmt.Errorf("diskio: recover txn %s: cleanup %s: %w", id, k, err)
+			}
+		}
+	}
+	if !rep.Clean() {
+		obs.Default().Counter("diskio.txn.recovered").Add(int64(len(rep.RolledForward) + len(rep.RolledBack)))
+	}
+	return rep, nil
+}

@@ -1,0 +1,303 @@
+package diskio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func dumpStore(t *testing.T, s Store) map[string]string {
+	t.Helper()
+	keys, err := s.Keys("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		v, err := s.Get(k)
+		if err != nil {
+			t.Fatalf("dump %s: %v", k, err)
+		}
+		out[k] = string(v)
+	}
+	return out
+}
+
+func TestTxnStorePassthroughOutsideTxn(t *testing.T) {
+	s := NewTxnStore(NewMemStore())
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if n, err := s.Size("k"); err != nil || n != 1 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key err = %v", err)
+	}
+}
+
+func TestTxnCommitIsAtomicAndClean(t *testing.T) {
+	base := NewMemStore()
+	s := NewTxnStore(base)
+
+	s.Begin()
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// Reads inside the txn observe staged state; the base store does not.
+	if got, _ := s.Get("a"); string(got) != "1" {
+		t.Fatal("txn read missed staged write")
+	}
+	if n, err := s.Size("b"); err != nil || n != 1 {
+		t.Fatalf("txn Size = %d, %v", n, err)
+	}
+	if _, err := base.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("staged write leaked to final key before commit")
+	}
+	keys, err := s.Keys("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(keys) != "[a b]" {
+		t.Fatalf("txn Keys = %v", keys)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := dumpStore(t, base)
+	if len(got) != 2 || got["a"] != "1" || got["b"] != "2" {
+		t.Fatalf("post-commit store = %v", got)
+	}
+}
+
+func TestTxnRollbackLeavesNoTrace(t *testing.T) {
+	base := NewMemStore()
+	s := NewTxnStore(base)
+	if err := s.Put("keep", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Begin()
+	if err := s.Put("keep", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fresh", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("keep"); err != nil {
+		t.Fatal(err)
+	}
+	s.Rollback()
+
+	got := dumpStore(t, base)
+	if len(got) != 1 || got["keep"] != "old" {
+		t.Fatalf("post-rollback store = %v", got)
+	}
+	// Rollback with no txn active is a no-op.
+	s.Rollback()
+}
+
+func TestTxnDeleteSemantics(t *testing.T) {
+	base := NewMemStore()
+	s := NewTxnStore(base)
+	if err := s.Put("old", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Begin()
+	if err := s.Delete("old"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("old"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("txn read saw deleted key")
+	}
+	if _, err := s.Size("old"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("txn Size saw deleted key")
+	}
+	// The delete is deferred: the base still has it until commit.
+	if _, err := base.Get("old"); err != nil {
+		t.Fatal("deferred delete applied early")
+	}
+	// Put after Delete resurrects the key.
+	if err := s.Put("old", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := base.Get("old"); err != nil || string(got) != "v2" {
+		t.Fatalf("resurrected key = %q, %v", got, err)
+	}
+
+	s.Begin()
+	if err := s.Put("tmp", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Get("tmp"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("put-then-delete key survived commit")
+	}
+}
+
+func TestTxnNestedBeginJoins(t *testing.T) {
+	base := NewMemStore()
+	s := NewTxnStore(base)
+	s.Begin()
+	if err := s.Put("outer", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	s.Begin() // joins
+	if err := s.Put("inner", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil { // inner commit: no effect yet
+		t.Fatal(err)
+	}
+	if _, err := base.Get("inner"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("inner commit applied before outer")
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := dumpStore(t, base)
+	if len(got) != 2 {
+		t.Fatalf("post-commit store = %v", got)
+	}
+}
+
+func TestTxnCommitWithoutBegin(t *testing.T) {
+	s := NewTxnStore(NewMemStore())
+	if err := s.Commit(); err == nil {
+		t.Fatal("Commit without Begin succeeded")
+	}
+}
+
+// crashStack builds base → fault(torn, crash) → checksum → txn, the full
+// durability sandwich the miners run on in the fault sweep.
+func crashStack() (*MemStore, *FaultStore, *TxnStore) {
+	base := NewMemStore()
+	fault := NewFaultStore(base)
+	fault.TornWrite = true
+	return base, fault, NewTxnStore(NewChecksumStore(fault))
+}
+
+// TestTxnCrashSweep commits a three-key transaction while crashing at every
+// operation index; after Recover, the store must hold either none or all of
+// the transaction's writes — never a subset.
+func TestTxnCrashSweep(t *testing.T) {
+	// Count ops in a fault-free run.
+	base, fault, s := crashStack()
+	doTxn := func(s *TxnStore) error {
+		s.Begin()
+		for i, k := range []string{"x/1", "x/2", "x/3"} {
+			if err := s.Put(k, bytes.Repeat([]byte{byte('a' + i)}, 64)); err != nil {
+				s.Rollback()
+				return err
+			}
+		}
+		return s.Commit()
+	}
+	if err := doTxn(s); err != nil {
+		t.Fatal(err)
+	}
+	total := int(fault.Ops())
+	want := dumpStore(t, base)
+
+	for k := 0; k < total; k++ {
+		base, fault, s := crashStack()
+		fault.CrashAfter(k)
+		err := doTxn(s)
+		if err == nil {
+			t.Fatalf("crash at op %d/%d did not surface", k, total)
+		}
+		// "Restart": recover through a clean stack over the same device.
+		clean := NewChecksumStore(base)
+		rep, err := Recover(clean)
+		if err != nil {
+			t.Fatalf("crash at op %d: recover: %v", k, err)
+		}
+		got := dumpStore(t, base)
+		switch len(got) {
+		case 0:
+			// Rolled back: nothing visible.
+		case len(want):
+			for key, v := range want {
+				if got[key] != v {
+					t.Fatalf("crash at op %d: key %s diverges after roll-forward", k, key)
+				}
+			}
+		default:
+			t.Fatalf("crash at op %d: partial commit visible: %d of %d keys (report %+v)",
+				k, len(got), len(want), rep)
+		}
+		// Recovery is idempotent.
+		if rep2, err := Recover(clean); err != nil || !rep2.Clean() {
+			t.Fatalf("crash at op %d: second recover = %+v, %v", k, rep2, err)
+		}
+	}
+}
+
+func TestRecoverRollsBackUncommittedStaging(t *testing.T) {
+	base := NewMemStore()
+	s := NewTxnStore(base)
+	s.Begin()
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: drop the txn on the floor without commit/rollback.
+	rep, err := Recover(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RolledBack) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := dumpStore(t, base); len(got) != 0 {
+		t.Fatalf("staging survived recovery: %v", got)
+	}
+}
+
+func TestTxnKeysHidesStaging(t *testing.T) {
+	base := NewMemStore()
+	s := NewTxnStore(base)
+	s.Begin()
+	if err := s.Put("data/k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if strings.HasPrefix(k, StagingPrefix) {
+			t.Fatalf("Keys leaked staging key %s", k)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnRejectsReservedPrefix(t *testing.T) {
+	s := NewTxnStore(NewMemStore())
+	s.Begin()
+	defer s.Rollback()
+	if err := s.Put(StagingPrefix+"sneaky", nil); err == nil {
+		t.Fatal("write under staging/ accepted inside a txn")
+	}
+}

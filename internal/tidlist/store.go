@@ -173,9 +173,13 @@ func (s *Store) ItemList(id blockseq.ID, it itemset.Item) (List, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tidlist: block %d item %d: %w", id, it, err)
 	}
-	ints, _, err := diskio.ReadSortedInts(data)
+	ints, rest, err := diskio.ReadSortedInts(data)
 	if err != nil {
 		return nil, fmt.Errorf("tidlist: block %d item %d: %w", id, it, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("tidlist: block %d item %d: %w: %d trailing bytes",
+			id, it, diskio.ErrCorrupt, len(rest))
 	}
 	s.entriesRead.Add(int64(len(ints)))
 	return List(ints), nil
@@ -195,9 +199,13 @@ func (s *Store) PairList(id blockseq.ID, pair itemset.Itemset) (List, bool, erro
 	if err != nil {
 		return nil, false, fmt.Errorf("tidlist: pair %v of block %d: %w", pair, id, err)
 	}
-	ints, _, err := diskio.ReadSortedInts(data)
+	ints, rest, err := diskio.ReadSortedInts(data)
 	if err != nil {
 		return nil, false, fmt.Errorf("tidlist: pair %v of block %d: %w", pair, id, err)
+	}
+	if len(rest) != 0 {
+		return nil, false, fmt.Errorf("tidlist: pair %v of block %d: %w: %d trailing bytes",
+			pair, id, diskio.ErrCorrupt, len(rest))
 	}
 	s.entriesRead.Add(int64(len(ints)))
 	return List(ints), true, nil

@@ -1,6 +1,7 @@
 package tidlist
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -372,5 +373,36 @@ func TestPairEntriesAcrossBlocks(t *testing.T) {
 	n, err = s.PairEntries([]blockseq.ID{1, 2, 99})
 	if err != nil || n != 4 {
 		t.Fatalf("PairEntries with absent block = %d, %v", n, err)
+	}
+}
+
+func TestListsRejectTrailingBytes(t *testing.T) {
+	underlying := diskio.NewMemStore()
+	s := NewStore(underlying)
+	b := makeBlock(1, 0, [][]itemset.Item{{1, 2}, {1}})
+	if err := s.Materialize(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.MaterializePairs(b, []itemset.Itemset{itemset.NewItemset(1, 2)}, -1); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage after a well-formed list: a decoder that stops at the
+	// declared count would silently accept a truncated-then-overwritten
+	// record, so trailing bytes must surface as corruption.
+	for _, key := range []string{"tid/00000001/i1", "tid2/00000001/p1-2"} {
+		data, err := underlying.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := underlying.Put(key, append(data, 0x00)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := NewStore(underlying)
+	if _, err := s2.ItemList(1, 1); !errors.Is(err, diskio.ErrCorrupt) {
+		t.Fatalf("ItemList with trailing bytes: err = %v, want ErrCorrupt", err)
+	}
+	if _, _, err := s2.PairList(1, itemset.NewItemset(1, 2)); !errors.Is(err, diskio.ErrCorrupt) {
+		t.Fatalf("PairList with trailing bytes: err = %v, want ErrCorrupt", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/borders"
+	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/itemset"
 	"github.com/demon-mining/demon/internal/tidlist"
 )
@@ -30,6 +31,10 @@ type ItemsetMinerConfig struct {
 	// independent by the additivity property). Zero or one keeps counting
 	// serial; negative selects GOMAXPROCS.
 	Workers int
+	// AutoCheckpointEvery checkpoints the model automatically after every
+	// N-th block, inside the same atomic transaction as the block itself.
+	// Zero or negative disables automatic checkpoints.
+	AutoCheckpointEvery int
 }
 
 // MaintenanceReport describes one AddBlock step.
@@ -58,15 +63,19 @@ type MaintenanceReport struct {
 // counting strategy.
 type ItemsetMiner struct {
 	cfg     ItemsetMinerConfig
+	io      *diskio.TxnStore // cfg.Store wrapped with atomic transactions
 	blocks  *itemset.BlockStore
 	tids    *tidlist.Store
 	mt      *borders.Maintainer
 	model   *borders.Model
 	snap    blockseq.Snapshot
 	totalTx int // all ingested transactions, selected or not (drives TIDs)
+	err     error
 }
 
-// NewItemsetMiner creates a miner over an empty database.
+// NewItemsetMiner creates a miner over an empty database. Incomplete
+// transactions left in the store by a crash are recovered (rolled back or
+// forward) before the miner starts.
 func NewItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
 	if cfg.MinSupport <= 0 || cfg.MinSupport >= 1 {
 		return nil, fmt.Errorf("demon: minimum support %v outside (0, 1)", cfg.MinSupport)
@@ -77,19 +86,31 @@ func NewItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
 	if cfg.BSS == nil {
 		cfg.BSS = AllBlocks()
 	}
-	m := &ItemsetMiner{
-		cfg:    cfg,
-		blocks: itemset.NewBlockStore(cfg.Store),
-		tids:   tidlist.NewStore(cfg.Store),
+	if err := recoverStore(cfg.Store); err != nil {
+		return nil, err
 	}
+	m := &ItemsetMiner{
+		cfg: cfg,
+		io:  diskio.NewTxnStore(cfg.Store),
+	}
+	m.blocks = itemset.NewBlockStore(m.io)
+	m.tids = tidlist.NewStore(m.io)
 	counter, err := newCounter(cfg.Strategy, m.blocks, m.tids)
 	if err != nil {
 		return nil, err
 	}
 	counter = parallelize(counter, cfg.Workers)
-	m.mt = &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: cfg.Store}
+	m.mt = &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: m.io}
 	m.model = m.mt.Empty()
 	return m, nil
+}
+
+// unusable reports the sticky failure: once an AddBlock transaction has
+// failed, the in-memory model may have absorbed writes the store rolled
+// back, so the miner refuses further work until reopened from its last
+// checkpoint (ResumeItemsetMiner).
+func (m *ItemsetMiner) unusable() error {
+	return fmt.Errorf("demon: miner unusable after failed block (resume from the last checkpoint): %w", m.err)
 }
 
 // parallelize wraps a counter in block-sharded parallel counting when more
@@ -180,37 +201,66 @@ func frequent2ItemsetsBySupport(l *itemset.Lattice) []itemset.Itemset {
 // AddBlock appends the next block of transactions to the database and, when
 // the BSS selects it, updates the maintained model. It returns a report of
 // what the maintenance step did.
-func (m *ItemsetMiner) AddBlock(transactions [][]Item) (*MaintenanceReport, error) {
+//
+// The block's writes — transactions, TID-lists, and the automatic checkpoint
+// when one is due — commit as a single atomic transaction: after a crash or
+// error the store holds either all of them or none. On error the miner
+// becomes unusable (the in-memory model may disagree with the rolled-back
+// store); reopen it with ResumeItemsetMiner.
+func (m *ItemsetMiner) AddBlock(transactions [][]Item) (rep *MaintenanceReport, err error) {
+	if m.err != nil {
+		return nil, m.unusable()
+	}
 	snap, id := m.snap.Append()
 	blk := itemset.NewTxBlock(id, m.totalTx, transactions)
 
-	rep := &MaintenanceReport{Block: id}
+	m.io.Begin()
+	defer func() {
+		if err != nil {
+			m.io.Rollback()
+			m.err = err
+		}
+	}()
+
+	rep = &MaintenanceReport{Block: id}
 	start := time.Now()
 	if err := ingestTxBlock(m.blocks, m.tids, m.cfg.Strategy, m.cfg.ECUTPlusBudget, m.model.Lattice, blk); err != nil {
 		return nil, fmt.Errorf("demon: ingesting block %d: %w", id, err)
 	}
 	rep.Ingest = time.Since(start)
-	m.snap = snap
-	m.totalTx += len(blk.Txs)
 
-	if !m.cfg.BSS.Bit(id) {
-		return rep, nil
+	if m.cfg.BSS.Bit(id) {
+		rep.Selected = true
+		st, err := m.mt.AddBlock(m.model, blk)
+		if err != nil {
+			return nil, err
+		}
+		rep.Detection = st.Detection
+		rep.Update = st.Update
+		rep.Promoted, rep.Demoted = st.Promoted, st.Demoted
+		rep.CandidatesCounted = st.CandidatesCounted
 	}
-	rep.Selected = true
-	st, err := m.mt.AddBlock(m.model, blk)
-	if err != nil {
+
+	totalTx := m.totalTx + len(blk.Txs)
+	if n := m.cfg.AutoCheckpointEvery; n > 0 && int(id)%n == 0 {
+		if err := m.writeCheckpoint(id, totalTx); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.io.Commit(); err != nil {
 		return nil, err
 	}
-	rep.Detection = st.Detection
-	rep.Update = st.Update
-	rep.Promoted, rep.Demoted = st.Promoted, st.Demoted
-	rep.CandidatesCounted = st.CandidatesCounted
+	m.snap = snap
+	m.totalTx = totalTx
 	return rep, nil
 }
 
 // DeleteOldestBlock removes the oldest selected block from the model (the
 // AuM option of Section 3.2.4). The block's data remains in the store.
 func (m *ItemsetMiner) DeleteOldestBlock() (*MaintenanceReport, error) {
+	if m.err != nil {
+		return nil, m.unusable()
+	}
 	if len(m.model.Blocks) == 0 {
 		return nil, fmt.Errorf("demon: model covers no blocks")
 	}
@@ -233,6 +283,9 @@ func (m *ItemsetMiner) DeleteOldestBlock() (*MaintenanceReport, error) {
 // ChangeMinSupport retargets the model to a new threshold κ′: raising is
 // free, lowering triggers the BORDERS update phase.
 func (m *ItemsetMiner) ChangeMinSupport(minsup float64) (*MaintenanceReport, error) {
+	if m.err != nil {
+		return nil, m.unusable()
+	}
 	st, err := m.mt.ChangeMinSupport(m.model, minsup)
 	if err != nil {
 		return nil, err

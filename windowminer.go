@@ -6,6 +6,7 @@ import (
 
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/borders"
+	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/gemm"
 	"github.com/demon-mining/demon/internal/itemset"
 	"github.com/demon-mining/demon/internal/tidlist"
@@ -49,6 +50,10 @@ type ItemsetWindowMinerConfig struct {
 	// Workers shards update-phase counting across goroutines (see
 	// ItemsetMinerConfig).
 	Workers int
+	// AutoCheckpointEvery checkpoints the model collection automatically
+	// after every N-th block, inside the same atomic transaction as the
+	// block itself. Zero or negative disables automatic checkpoints.
+	AutoCheckpointEvery int
 }
 
 // WindowReport describes one AddBlock step of a window miner.
@@ -71,14 +76,18 @@ type WindowReport struct {
 // the BORDERS maintainer.
 type ItemsetWindowMiner struct {
 	cfg    ItemsetWindowMinerConfig
+	io     *diskio.TxnStore // cfg.Store wrapped with atomic transactions
 	blocks *itemset.BlockStore
 	tids   *tidlist.Store
 	g      *gemm.GEMM[*itemset.TxBlock, *borders.Model]
 	snap   blockseq.Snapshot
 	nextTx int
+	err    error
 }
 
 // NewItemsetWindowMiner creates a window miner over an empty database.
+// Incomplete transactions left in the store by a crash are recovered before
+// the miner starts.
 func NewItemsetWindowMiner(cfg ItemsetWindowMinerConfig) (*ItemsetWindowMiner, error) {
 	if cfg.MinSupport <= 0 || cfg.MinSupport >= 1 {
 		return nil, fmt.Errorf("demon: minimum support %v outside (0, 1)", cfg.MinSupport)
@@ -86,17 +95,21 @@ func NewItemsetWindowMiner(cfg ItemsetWindowMinerConfig) (*ItemsetWindowMiner, e
 	if cfg.Store == nil {
 		cfg.Store = NewMemStore()
 	}
-	m := &ItemsetWindowMiner{
-		cfg:    cfg,
-		blocks: itemset.NewBlockStore(cfg.Store),
-		tids:   tidlist.NewStore(cfg.Store),
+	if err := recoverStore(cfg.Store); err != nil {
+		return nil, err
 	}
+	m := &ItemsetWindowMiner{
+		cfg: cfg,
+		io:  diskio.NewTxnStore(cfg.Store),
+	}
+	m.blocks = itemset.NewBlockStore(m.io)
+	m.tids = tidlist.NewStore(m.io)
 	counter, err := newCounter(cfg.Strategy, m.blocks, m.tids)
 	if err != nil {
 		return nil, err
 	}
 	counter = parallelize(counter, cfg.Workers)
-	ad := bordersAdapter{mt: &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: cfg.Store}}
+	ad := bordersAdapter{mt: &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: m.io}}
 
 	switch {
 	case cfg.WindowRelBSS.Len() > 0:
@@ -121,13 +134,33 @@ func NewItemsetWindowMiner(cfg ItemsetWindowMinerConfig) (*ItemsetWindowMiner, e
 	return m, nil
 }
 
+// unusable reports the sticky failure; see ItemsetMiner.unusable.
+func (m *ItemsetWindowMiner) unusable() error {
+	return fmt.Errorf("demon: miner unusable after failed block (resume from the last checkpoint): %w", m.err)
+}
+
 // AddBlock appends the next block, updates the w maintained models per
 // Algorithm 3.1, and reports the response time.
-func (m *ItemsetWindowMiner) AddBlock(transactions [][]Item) (*WindowReport, error) {
+//
+// The block's writes commit as one atomic transaction (see
+// ItemsetMiner.AddBlock); on error the miner becomes unusable and must be
+// reopened with ResumeItemsetWindowMiner.
+func (m *ItemsetWindowMiner) AddBlock(transactions [][]Item) (rep *WindowReport, err error) {
+	if m.err != nil {
+		return nil, m.unusable()
+	}
 	snap, id := m.snap.Append()
 	blk := itemset.NewTxBlock(id, m.nextTx, transactions)
 
-	rep := &WindowReport{Block: id}
+	m.io.Begin()
+	defer func() {
+		if err != nil {
+			m.io.Rollback()
+			m.err = err
+		}
+	}()
+
+	rep = &WindowReport{Block: id}
 	start := time.Now()
 	// Pair materialization uses the current window model's frequent
 	// 2-itemsets.
@@ -148,8 +181,17 @@ func (m *ItemsetWindowMiner) AddBlock(transactions [][]Item) (*WindowReport, err
 	rep.Response = total / time.Duration(m.g.WindowSize())
 	rep.Offline = total - rep.Response
 
+	nextTx := m.nextTx + len(blk.Txs)
+	if n := m.cfg.AutoCheckpointEvery; n > 0 && int(id)%n == 0 {
+		if err := m.writeCheckpoint(id, nextTx); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.io.Commit(); err != nil {
+		return nil, err
+	}
 	m.snap = snap
-	m.nextTx += len(blk.Txs)
+	m.nextTx = nextTx
 	return rep, nil
 }
 
