@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench check faultsweep experiments examples fmt vet clean
+.PHONY: all build test race race-differential cover bench check faultsweep experiments examples fmt vet clean
 
 all: build test
 
@@ -14,6 +14,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The cross-strategy differential harness and the concurrent-reader hammers
+# under the race detector (see differential_test.go, concurrency_test.go),
+# plus a fuzz smoke of the sharded counters.
+race-differential:
+	$(GO) test -race -run 'TestDifferential|TestConcurrentReaders' -count=1 .
+	$(GO) test -run '^$$' -fuzz FuzzDifferentialCount -fuzztime 30s .
 
 cover:
 	$(GO) test -cover ./...

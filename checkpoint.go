@@ -113,6 +113,8 @@ func recoverStore(store Store) error {
 // Checkpoint persists the miner's model and position into its Store,
 // atomically.
 func (m *ItemsetMiner) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return m.unusable()
 	}
@@ -192,6 +194,8 @@ func ResumeItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
 // Checkpoint persists the window miner's whole model collection (all w GEMM
 // slots) and position into its Store, atomically.
 func (m *ItemsetWindowMiner) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return m.unusable()
 	}
@@ -307,6 +311,8 @@ func boolInt(b bool) int {
 // Checkpoint persists the cluster miner's resident CF-tree and position into
 // its Store, atomically. It requires a configured Store.
 func (m *ClusterMiner) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return m.unusable()
 	}
@@ -363,7 +369,7 @@ func RestoreClusterMiner(cfg ClusterMinerConfig) (*ClusterMiner, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.plus, err = birch.RestorePlus(birch.Config{Tree: cfg.treeConfig(), K: cfg.K}, state); err != nil {
+	if m.plus, err = birch.RestorePlus(birch.Config{Tree: cfg.treeConfig(), K: cfg.K, Workers: cfg.Workers}, state); err != nil {
 		return nil, err
 	}
 	m.snap = blockseq.Snapshot{T: meta.t}

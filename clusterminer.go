@@ -2,6 +2,7 @@ package demon
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/demon-mining/demon/internal/birch"
@@ -43,6 +44,11 @@ type ClusterMinerConfig struct {
 	// Store optionally persists point blocks and checkpoints. Without one
 	// the miner is purely in-memory and cannot checkpoint.
 	Store Store
+	// Workers shards the phase-2 refinement behind Clusters and Assign
+	// across worker goroutines. Zero or negative selects GOMAXPROCS; 1 keeps
+	// the computation serial. The clusters are identical for every worker
+	// count.
+	Workers int
 	// AutoCheckpointEvery checkpoints the resident CF-tree automatically
 	// after every N-th block, inside the same atomic transaction as the
 	// block itself. Requires Store; zero or negative disables automatic
@@ -61,6 +67,9 @@ func (c ClusterMinerConfig) treeConfig() cf.TreeConfig {
 // systematically evolving database of points, using BIRCH+: the set of
 // sub-clusters stays resident and each new block is scanned exactly once.
 type ClusterMiner struct {
+	// mu makes readers (Clusters, Assign, T, NumSubClusters) safe
+	// concurrently with AddBlock and Checkpoint.
+	mu   sync.RWMutex
 	cfg  ClusterMinerConfig
 	io   *diskio.TxnStore  // cfg.Store wrapped with transactions; nil when in-memory
 	pts  *birch.PointStore // over m.io; nil when in-memory
@@ -73,7 +82,7 @@ type ClusterMiner struct {
 // NewClusterMiner creates a miner over an empty database. With a configured
 // Store, incomplete transactions left by a crash are recovered first.
 func NewClusterMiner(cfg ClusterMinerConfig) (*ClusterMiner, error) {
-	plus, err := birch.NewPlus(birch.Config{Tree: cfg.treeConfig(), K: cfg.K})
+	plus, err := birch.NewPlus(birch.Config{Tree: cfg.treeConfig(), K: cfg.K, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +114,8 @@ func (m *ClusterMiner) unusable() error {
 // (when one is due) commit as a single atomic transaction; on error the
 // miner becomes unusable and must be reopened with ResumeClusterMiner.
 func (m *ClusterMiner) AddBlock(points []Point) (elapsed time.Duration, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return 0, m.unusable()
 	}
@@ -154,6 +165,8 @@ func (m *ClusterMiner) AddBlock(points []Point) (elapsed time.Duration, err erro
 // Clusters runs BIRCH phase 2 on the resident sub-clusters and returns the
 // K clusters of all selected data so far.
 func (m *ClusterMiner) Clusters() ([]Cluster, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	model, err := m.plus.Clusters()
 	if err != nil {
 		return nil, err
@@ -164,6 +177,8 @@ func (m *ClusterMiner) Clusters() ([]Cluster, error) {
 // Assign labels each point with the index of its nearest cluster — the
 // optional second scan of Section 3.1.2.
 func (m *ClusterMiner) Assign(points []Point) ([]int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	model, err := m.plus.Clusters()
 	if err != nil {
 		return nil, err
@@ -176,10 +191,18 @@ func (m *ClusterMiner) Assign(points []Point) ([]int, error) {
 }
 
 // T returns the identifier of the latest ingested block.
-func (m *ClusterMiner) T() BlockID { return m.snap.T }
+func (m *ClusterMiner) T() BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.snap.T
+}
 
 // NumSubClusters returns the size of the resident sub-cluster set.
-func (m *ClusterMiner) NumSubClusters() int { return m.plus.NumSubClusters() }
+func (m *ClusterMiner) NumSubClusters() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.plus.NumSubClusters()
+}
 
 // birchAdapter lets GEMM drive BIRCH+ — each GEMM slot owns an independent
 // CF-tree, exactly the "collection of models" of Section 3.2 (BIRCH
@@ -220,11 +243,19 @@ type ClusterWindowMinerConfig struct {
 	WindowRelBSS WindowRelBSS
 	// Tree overrides the CF-tree parameters.
 	Tree cf.TreeConfig
+	// Workers fans AddBlock's per-slot CF-tree updates across worker
+	// goroutines and shards the phase-2 refinement behind Clusters. Zero or
+	// negative selects GOMAXPROCS; 1 keeps maintenance serial. The models
+	// are identical for every worker count.
+	Workers int
 }
 
 // ClusterWindowMiner maintains a cluster model over the most recent window —
 // GEMM instantiated with BIRCH+.
 type ClusterWindowMiner struct {
+	// mu makes readers (Clusters, Window, T) safe concurrently with
+	// AddBlock.
+	mu   sync.RWMutex
 	g    *gemm.GEMM[[]cf.Point, *birch.Plus]
 	snap blockseq.Snapshot
 }
@@ -235,7 +266,9 @@ func NewClusterWindowMiner(cfg ClusterWindowMinerConfig) (*ClusterWindowMiner, e
 	if tree == (cf.TreeConfig{}) {
 		tree = cf.DefaultTreeConfig()
 	}
-	bcfg := birch.Config{Tree: tree, K: cfg.K}
+	// Per-slot CF-tree updates fan across the GEMM workers, so each slot's
+	// phase-2 refinement stays serial to avoid nested parallelism.
+	bcfg := birch.Config{Tree: tree, K: cfg.K, Workers: 1}
 	if _, err := birch.NewPlus(bcfg); err != nil {
 		return nil, err // validate once, so the adapter's Empty cannot fail
 	}
@@ -263,12 +296,15 @@ func NewClusterWindowMiner(cfg ClusterWindowMinerConfig) (*ClusterWindowMiner, e
 	if err != nil {
 		return nil, err
 	}
+	g.SetWorkers(cfg.Workers)
 	return &ClusterWindowMiner{g: g}, nil
 }
 
 // AddBlock appends the next block of points and updates the collection of
 // models.
 func (m *ClusterWindowMiner) AddBlock(points []Point) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	snap, id := m.snap.Append()
 	if err := m.g.AddBlock(points, id); err != nil {
 		return err
@@ -280,6 +316,8 @@ func (m *ClusterWindowMiner) AddBlock(points []Point) error {
 // Clusters returns the cluster model of the current window with respect to
 // the BSS.
 func (m *ClusterWindowMiner) Clusters() ([]Cluster, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	model, err := m.g.Current().Clusters()
 	if err != nil {
 		return nil, err
@@ -288,7 +326,15 @@ func (m *ClusterWindowMiner) Clusters() ([]Cluster, error) {
 }
 
 // Window returns the current most recent window.
-func (m *ClusterWindowMiner) Window() Window { return m.g.Window() }
+func (m *ClusterWindowMiner) Window() Window {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.g.Window()
+}
 
 // T returns the identifier of the latest ingested block.
-func (m *ClusterWindowMiner) T() BlockID { return m.snap.T }
+func (m *ClusterWindowMiner) T() BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.snap.T
+}

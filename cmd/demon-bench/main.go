@@ -10,8 +10,9 @@
 // Experiments: fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
 // gemm (GEMM vs AuM), ecutplus (pair-budget sweep), kappa (threshold
 // change), fup (FUP vs BORDERS), granularity (automatic block-granularity
-// selection). Dataset sizes scale with -scale; 1.0 reproduces the paper's
-// sizes, the default 0.1 runs on a laptop.
+// selection), scaling (parallel ingestion vs worker count, with a
+// byte-identity check on the final store). Dataset sizes scale with -scale;
+// 1.0 reproduces the paper's sizes, the default 0.1 runs on a laptop.
 //
 // -json writes a machine-readable artifact with every experiment's rows and
 // its per-experiment instrumentation delta (per-phase timings, per-strategy
@@ -33,6 +34,7 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments (fig2..fig10, gemm, ecutplus, kappa) or 'all'")
 	scale := flag.Float64("scale", 0.1, "dataset scale factor (1.0 = paper sizes)")
 	seed := flag.Int64("seed", 1, "random seed for data generation")
+	workers := flag.Int("workers", 0, "override the 'scaling' experiment's swept worker counts with {1, N} (0 = default sweep 1,2,4,8)")
 	jsonOut := flag.String("json", "", "write a JSON artifact of all experiment rows and per-experiment metrics to this file")
 	metricsOut := flag.String("metrics-out", "", "write the cumulative metrics-registry snapshot (JSON) to this file on exit")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
@@ -40,7 +42,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "gemm", "ecutplus", "kappa", "fup", "granularity", "dbscan"} {
+		for _, e := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "gemm", "ecutplus", "kappa", "fup", "granularity", "dbscan", "scaling"} {
 			selected[e] = true
 		}
 	} else {
@@ -64,7 +66,7 @@ func main() {
 		art = bench.NewArtifactBuilder(obs.Default(), *scale, *seed)
 	}
 
-	if err := run(selected, *scale, *seed, art); err != nil {
+	if err := run(selected, *scale, *seed, *workers, art); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-bench:", err)
 		os.Exit(1)
 	}
@@ -94,7 +96,7 @@ func writeOutputs(art *bench.ArtifactBuilder, jsonOut, metricsOut string) error 
 	return nil
 }
 
-func run(selected map[string]bool, scale float64, seed int64, art *bench.ArtifactBuilder) error {
+func run(selected map[string]bool, scale float64, seed int64, workers int, art *bench.ArtifactBuilder) error {
 	out := os.Stdout
 	ran := 0
 
@@ -234,6 +236,21 @@ func run(selected map[string]bool, scale float64, seed int64, art *bench.Artifac
 		bench.WriteGranularity(out, rows)
 		fmt.Fprintln(out)
 		art.Add("granularity", rows)
+		ran++
+	}
+	if selected["scaling"] {
+		cfg := bench.DefaultScalingConfig(scale)
+		cfg.Seed = seed
+		if workers > 0 {
+			cfg.Workers = []int{1, workers}
+		}
+		rows, err := bench.Scaling(cfg)
+		if err != nil {
+			return err
+		}
+		bench.WriteScaling(out, rows)
+		fmt.Fprintln(out)
+		art.Add("scaling", rows)
 		ran++
 	}
 	if selected["dbscan"] {

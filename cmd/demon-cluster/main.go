@@ -27,6 +27,7 @@ import (
 func main() {
 	k := flag.Int("k", 4, "number of clusters K")
 	window := flag.Int("window", 0, "most recent window size w (0 = unrestricted window)")
+	workers := flag.Int("workers", 1, "parallel maintenance worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
 	storeDir := flag.String("store", "", "keep state in a crash-safe on-disk store under this directory")
@@ -48,7 +49,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*k, *window, *storeDir, *resume, *ckptEvery, *scrub, flag.Args()); err != nil {
+	if err := run(*k, *window, *workers, *storeDir, *resume, *ckptEvery, *scrub, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-cluster:", err)
 		os.Exit(1)
 	}
@@ -60,7 +61,7 @@ func main() {
 	}
 }
 
-func run(k, window int, storeDir string, resume bool, ckptEvery int, scrub bool, files []string) error {
+func run(k, window, workers int, storeDir string, resume bool, ckptEvery int, scrub bool, files []string) error {
 	var addBlock func(pts []demon.Point) error
 	var clusters func() ([]demon.Cluster, error)
 	var checkpoint func() error
@@ -70,7 +71,7 @@ func run(k, window int, storeDir string, resume bool, ckptEvery int, scrub bool,
 		if storeDir != "" || resume || ckptEvery > 0 || scrub {
 			return fmt.Errorf("the window cluster miner is in-memory only; -store/-resume/-checkpoint-every/-scrub require the unrestricted window")
 		}
-		m, err := demon.NewClusterWindowMiner(demon.ClusterWindowMinerConfig{K: k, WindowSize: window})
+		m, err := demon.NewClusterWindowMiner(demon.ClusterWindowMinerConfig{K: k, WindowSize: window, Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -87,7 +88,7 @@ func run(k, window int, storeDir string, resume bool, ckptEvery int, scrub bool,
 		if (resume || ckptEvery > 0 || scrub) && storeDir == "" {
 			return fmt.Errorf("-resume, -checkpoint-every and -scrub require -store")
 		}
-		cfg := demon.ClusterMinerConfig{K: k, AutoCheckpointEvery: ckptEvery}
+		cfg := demon.ClusterMinerConfig{K: k, Workers: workers, AutoCheckpointEvery: ckptEvery}
 		if storeDir != "" {
 			store, err := demon.NewDurableFileStore(storeDir)
 			if err != nil {

@@ -33,24 +33,24 @@ func writePointBlocks(t *testing.T) []string {
 
 func TestRunUnrestricted(t *testing.T) {
 	paths := writePointBlocks(t)
-	if err := run(2, 0, "", false, 0, false, paths); err != nil {
+	if err := run(2, 0, 2, "", false, 0, false, paths); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWindowed(t *testing.T) {
 	paths := writePointBlocks(t)
-	if err := run(2, 1, "", false, 0, false, paths); err != nil {
+	if err := run(2, 1, 2, "", false, 0, false, paths); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	paths := writePointBlocks(t)
-	if err := run(0, 0, "", false, 0, false, paths); err == nil {
+	if err := run(0, 0, 2, "", false, 0, false, paths); err == nil {
 		t.Error("accepted k = 0")
 	}
-	if err := run(2, 0, "", false, 0, false, []string{"/nonexistent"}); err == nil {
+	if err := run(2, 0, 2, "", false, 0, false, []string{"/nonexistent"}); err == nil {
 		t.Error("accepted missing file")
 	}
 }
@@ -59,24 +59,24 @@ func TestRunDurableStoreResume(t *testing.T) {
 	paths := writePointBlocks(t)
 	dir := t.TempDir()
 
-	if err := run(2, 0, dir, false, 1, false, paths[:1]); err != nil {
+	if err := run(2, 0, 2, dir, false, 1, false, paths[:1]); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, 0, dir, true, 1, false, paths); err != nil {
+	if err := run(2, 0, 2, dir, true, 1, false, paths); err != nil {
 		t.Fatal(err)
 	}
 	// Scrub-only invocation.
-	if err := run(2, 0, dir, false, 0, true, nil); err != nil {
+	if err := run(2, 0, 2, dir, false, 0, true, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDurabilityFlagErrors(t *testing.T) {
 	paths := writePointBlocks(t)
-	if err := run(2, 1, t.TempDir(), false, 0, false, paths); err == nil {
+	if err := run(2, 1, 2, t.TempDir(), false, 0, false, paths); err == nil {
 		t.Error("window miner accepted -store")
 	}
-	if err := run(2, 0, "", true, 0, false, paths); err == nil {
+	if err := run(2, 0, 2, "", true, 0, false, paths); err == nil {
 		t.Error("accepted -resume without -store")
 	}
 }

@@ -46,6 +46,7 @@ func main() {
 	bss := flag.String("bss", "", "window-relative BSS bit string of length w (requires -window)")
 	every := flag.Int("every", 0, "periodic window-independent BSS: select every Nth block")
 	offset := flag.Int("offset", 1, "offset of the periodic BSS")
+	workers := flag.Int("workers", 1, "parallel-ingestion worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	top := flag.Int("top", 20, "how many frequent itemsets to print")
 	minconf := flag.Float64("rules", 0, "also print association rules at this minimum confidence (0 = off)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
@@ -70,7 +71,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*minsup, *strategy, *window, *bss, *every, *offset, *top, *minconf, dur, flag.Args()); err != nil {
+	if err := run(*minsup, *strategy, *window, *bss, *every, *offset, *workers, *top, *minconf, dur, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-miner:", err)
 		os.Exit(1)
 	}
@@ -138,7 +139,7 @@ func (d durability) openStore() (demon.Store, error) {
 	return store, nil
 }
 
-func run(minsup float64, strategyName string, window int, bssStr string, every, offset, top int, minconf float64, dur durability, files []string) error {
+func run(minsup float64, strategyName string, window int, bssStr string, every, offset, workers, top int, minconf float64, dur durability, files []string) error {
 	strategy, err := parseStrategy(strategyName)
 	if err != nil {
 		return err
@@ -172,6 +173,7 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 			WindowSize:          window,
 			BSS:                 indep,
 			Store:               store,
+			Workers:             workers,
 			AutoCheckpointEvery: dur.every,
 		}
 		if bssStr != "" {
@@ -216,6 +218,7 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 			Strategy:            strategy,
 			BSS:                 indep,
 			Store:               store,
+			Workers:             workers,
 			AutoCheckpointEvery: dur.every,
 		}
 		var m *demon.ItemsetMiner

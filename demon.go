@@ -34,9 +34,11 @@
 //     windows.
 //
 // All state lives behind a Store (in-memory or file-backed); every
-// maintainer is deterministic given its inputs. Individual miners are not
-// safe for concurrent use; the Workers options parallelize internally
-// instead.
+// maintainer is deterministic given its inputs — including the parallel
+// ingestion paths, whose results are identical for every Workers setting.
+// Miners and monitors allow any number of concurrent readers (for example
+// FrequentItemsets or Patterns) alongside one mutator (AddBlock and
+// friends); mutators must not race with each other.
 package demon
 
 import (

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/borders"
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/quest"
+	"github.com/demon-mining/demon/internal/tidlist"
+)
+
+// ScalingConfig parameterizes the parallel-ingestion scaling experiment: the
+// same T10.I4 block stream is ingested with BORDERS maintenance at several
+// worker counts, timing the maintenance and digesting the final store. The
+// digest must be identical at every worker count — the parallel paths
+// (PT-Scan candidate counting, detection scans, TID-list materialization)
+// are deterministic by the additivity property of support counts.
+type ScalingConfig struct {
+	// Scale multiplies the block sizes (default 0.1).
+	Scale float64
+	// Spec is the quest dataset (default the T10.I4 workload
+	// "1M.10L.1I.2pats.4plen").
+	Spec string
+	// NumBlocks and BlockSize shape the stream (defaults 8 blocks of 10000
+	// transactions before scaling).
+	NumBlocks int
+	BlockSize int
+	// MinSupport is the mining threshold (default 0.01).
+	MinSupport float64
+	// Workers are the worker counts swept; the first entry is the baseline
+	// speedups are relative to (default 1, 2, 4, 8).
+	Workers []int
+	// Seed fixes data generation.
+	Seed int64
+}
+
+// DefaultScalingConfig returns the experiment's parameters at the given
+// scale.
+func DefaultScalingConfig(scale float64) ScalingConfig {
+	return ScalingConfig{
+		Scale:      scale,
+		Spec:       "1M.10L.1I.2pats.4plen",
+		NumBlocks:  8,
+		BlockSize:  10000,
+		MinSupport: 0.01,
+		Workers:    []int{1, 2, 4, 8},
+		Seed:       1,
+	}
+}
+
+// ScalingRow is one worker count's measurement.
+type ScalingRow struct {
+	Workers int
+	// Maintain is the wall-clock time of all AddBlock maintenance steps
+	// (detection + update counting).
+	Maintain time.Duration
+	// Ingest is the wall-clock time spent storing blocks and materializing
+	// TID-lists.
+	Ingest time.Duration
+	// Speedup is baseline-Maintain / Maintain.
+	Speedup float64
+	// Digest fingerprints every key and value in the final store.
+	Digest string
+	// Identical reports whether Digest matches the baseline's.
+	Identical bool
+	// Frequent is the final frequent-itemset count (a cheap model check on
+	// top of the byte digest).
+	Frequent int
+}
+
+// storeDigest hashes every key and value in the store, in sorted key order.
+func storeDigest(store diskio.Store) (string, error) {
+	keys, err := store.Keys("")
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	for _, k := range keys {
+		data, err := store.Get(k)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", k, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Scaling runs the ingestion pipeline once per worker count over identical
+// data and returns one row per count. It fails when any run's final store
+// bytes diverge from the baseline's — determinism is part of the experiment's
+// contract, not just a reported column.
+func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.1
+	}
+	d := DefaultScalingConfig(cfg.Scale)
+	if cfg.Spec == "" {
+		cfg.Spec = d.Spec
+	}
+	if cfg.NumBlocks <= 0 {
+		cfg.NumBlocks = d.NumBlocks
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = d.BlockSize
+	}
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = d.MinSupport
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = d.Workers
+	}
+	qc, err := quest.ParseSpec(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	qc.Seed = cfg.Seed
+	blockSize := scaledSize(cfg.BlockSize, cfg.Scale)
+
+	rows := make([]ScalingRow, 0, len(cfg.Workers))
+	for _, w := range cfg.Workers {
+		row, err := scalingRun(qc, cfg, blockSize, w)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling at %d workers: %w", w, err)
+		}
+		base := row
+		if len(rows) > 0 {
+			base = rows[0]
+		}
+		row.Speedup = float64(base.Maintain) / float64(max64(int64(row.Maintain), 1))
+		row.Identical = row.Digest == base.Digest
+		if !row.Identical {
+			return nil, fmt.Errorf("bench: scaling at %d workers diverged from the %d-worker baseline: store digest %s != %s",
+				w, base.Workers, row.Digest, base.Digest)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// scalingRun ingests the whole stream at one worker count: each block is
+// stored, its TID-lists (items and the model's frequent 2-itemset pairs)
+// materialized, and the BORDERS model maintained with PT-Scan counting.
+func scalingRun(qc quest.Config, cfg ScalingConfig, blockSize, workers int) (ScalingRow, error) {
+	row := ScalingRow{Workers: workers}
+	gen, err := quest.New(qc)
+	if err != nil {
+		return row, err
+	}
+	store := diskio.NewMemStore()
+	blocks := itemset.NewBlockStore(store)
+	tids := tidlist.NewStore(store)
+	tids.SetWorkers(workers)
+	mt := &borders.Maintainer{
+		Store:      blocks,
+		Counter:    borders.PTScan{Blocks: blocks, Workers: workers},
+		MinSupport: cfg.MinSupport,
+	}
+	model := mt.Empty()
+	for b := 1; b <= cfg.NumBlocks; b++ {
+		blk := gen.Block(blockseq.ID(b), blockSize)
+
+		start := time.Now()
+		if err := blocks.Put(blk); err != nil {
+			return row, err
+		}
+		if err := tids.Materialize(blk); err != nil {
+			return row, err
+		}
+		if pairs := frequentPairs(model.Lattice); len(pairs) > 0 {
+			if _, _, err := tids.MaterializePairs(blk, pairs, -1); err != nil {
+				return row, err
+			}
+		}
+		row.Ingest += time.Since(start)
+
+		start = time.Now()
+		if _, err := mt.AddBlock(model, blk); err != nil {
+			return row, err
+		}
+		row.Maintain += time.Since(start)
+	}
+	row.Frequent = len(model.Lattice.Frequent)
+	row.Digest, err = storeDigest(store)
+	return row, err
+}
+
+// frequentPairs lists the lattice's frequent 2-itemsets in deterministic
+// order.
+func frequentPairs(l *itemset.Lattice) []itemset.Itemset {
+	var pairs []itemset.Itemset
+	for k := range l.Frequent {
+		if x := k.Itemset(); len(x) == 2 {
+			pairs = append(pairs, x)
+		}
+	}
+	itemset.SortItemsets(pairs)
+	return pairs
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteScaling renders the rows.
+func WriteScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintln(w, "Scaling: parallel ingestion vs worker count (identical store bytes required)")
+	fmt.Fprintf(w, "%8s %12s %12s %9s %10s %10s\n",
+		"workers", "maintain", "ingest", "speedup", "|L|", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %12.4f %12.4f %9.2f %10d %10v\n",
+			r.Workers, r.Maintain.Seconds(), r.Ingest.Seconds(), r.Speedup, r.Frequent, r.Identical)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"github.com/demon-mining/demon/internal/cf"
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/par"
 )
 
 // Cluster is one output cluster: a cluster feature summarizing its points.
@@ -70,6 +71,16 @@ func (m *Model) Assign(p cf.Point) int {
 // sub-cluster centroids. Sub-clusters are never split, matching BIRCH's
 // tolerance to slight phase-1 misassignments.
 func Phase2(subs []cf.CF, k int) (*Model, error) {
+	return Phase2Workers(subs, k, 1)
+}
+
+// Phase2Workers is Phase2 with its closest-pair searches and refinement
+// assignment scans sharded across worker goroutines: non-positive selects
+// GOMAXPROCS, 1 keeps phase 2 serial. Shard results merge in shard order
+// with strict comparisons (and the weighted-mean accumulations stay serial
+// in index order), so the model is bit-identical to the serial computation
+// for every worker count.
+func Phase2Workers(subs []cf.CF, k, workers int) (*Model, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("birch: k = %d < 1", k)
 	}
@@ -94,14 +105,7 @@ func Phase2(subs []cf.CF, k int) (*Model, error) {
 		cents[i] = work[i].Centroid()
 	}
 	for len(work) > k {
-		bi, bj, bd := 0, 1, math.Inf(1)
-		for i := 0; i < len(work); i++ {
-			for j := i + 1; j < len(work); j++ {
-				if d := cf.Distance(cents[i], cents[j]); d < bd {
-					bi, bj, bd = i, j, d
-				}
-			}
-		}
+		bi, bj := closestPair(cents, workers)
 		work[bi] = work[bi].Add(work[bj])
 		cents[bi] = work[bi].Centroid()
 		last := len(work) - 1
@@ -114,32 +118,91 @@ func Phase2(subs []cf.CF, k int) (*Model, error) {
 	// agglomerative centroids as seeds. Sub-clusters move atomically.
 	seeds := make([]cf.Point, len(work))
 	copy(seeds, cents)
-	return refine(subs, seeds, n), nil
+	return refine(subs, seeds, n, workers), nil
+}
+
+// closestPair returns the lexicographically first pair of centroids at
+// minimum distance — exactly the pair the serial double loop finds. Each
+// shard scans a contiguous range of first indices with a strict-< argmin,
+// and shard results merge in shard order with strict <, so earlier pairs win
+// ties regardless of scheduling.
+func closestPair(cents []cf.Point, workers int) (int, int) {
+	n := len(cents)
+	type best struct {
+		i, j int
+		d    float64
+	}
+	find := func(lo, hi int) best {
+		b := best{-1, -1, math.Inf(1)}
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				if d := cf.Distance(cents[i], cents[j]); d < b.d {
+					b = best{i, j, d}
+				}
+			}
+		}
+		return b
+	}
+	var b best
+	shards := par.Shards(n, workers)
+	if shards <= 1 {
+		b = find(0, n)
+	} else {
+		bests := make([]best, shards)
+		par.Do(n, workers, func(s, lo, hi int) {
+			bests[s] = find(lo, hi)
+		})
+		b = bests[0]
+		for _, o := range bests[1:] {
+			if o.d < b.d {
+				b = o
+			}
+		}
+	}
+	if b.i < 0 {
+		return 0, 1 // all distances infinite: the serial loop's initial pair
+	}
+	return b.i, b.j
 }
 
 // refine runs weighted k-means over the sub-clusters from the given seeds
 // and materializes the final model. Sub-clusters move atomically, matching
 // BIRCH's tolerance to slight phase-1 misassignments.
-func refine(subs []cf.CF, seeds []cf.Point, n int) *Model {
+// The assignment scan is a pure read of the seeds writing only assign[i], so
+// it shards across the workers; the weighted-mean accumulations stay serial
+// in index order, keeping the floating-point sums bit-identical to a serial
+// run for every worker count.
+func refine(subs []cf.CF, seeds []cf.Point, n, workers int) *Model {
 	assign := make([]int, len(subs))
 	for iter := 0; iter < 10; iter++ {
-		changed := false
-		for i, s := range subs {
-			if s.N == 0 {
-				assign[i] = -1
-				continue
-			}
-			c := s.Centroid()
-			best, bestD := 0, math.Inf(1)
-			for j, seed := range seeds {
-				if d := cf.Distance(c, seed); d < bestD {
-					best, bestD = j, d
+		shards := par.Shards(len(subs), workers)
+		if shards < 1 {
+			shards = 1
+		}
+		changedBy := make([]bool, shards)
+		par.Do(len(subs), workers, func(sh, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s := subs[i]
+				if s.N == 0 {
+					assign[i] = -1
+					continue
+				}
+				c := s.Centroid()
+				best, bestD := 0, math.Inf(1)
+				for j, seed := range seeds {
+					if d := cf.Distance(c, seed); d < bestD {
+						best, bestD = j, d
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					changedBy[sh] = true
 				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
+		})
+		changed := false
+		for _, c := range changedBy {
+			changed = changed || c
 		}
 		if iter > 0 && !changed {
 			break
@@ -226,7 +289,7 @@ func Phase2KMeans(subs []cf.CF, k int, seed int64) (*Model, error) {
 		next := weightedPick(rng, nonEmpty, func(i int) float64 { return d2[i] })
 		seeds = append(seeds, cents[next])
 	}
-	return refine(subs, seeds, n), nil
+	return refine(subs, seeds, n, 1), nil
 }
 
 // weightedPick draws an index proportionally to the given weights.
@@ -264,6 +327,11 @@ type Config struct {
 	Tree cf.TreeConfig
 	// K is the user-specified number of clusters for phase 2.
 	K int
+	// Workers shards phase-2 work (closest-pair searches and refinement
+	// assignment scans) across worker goroutines: non-positive selects
+	// GOMAXPROCS, 1 keeps phase 2 serial. The resulting model is identical
+	// for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -287,7 +355,7 @@ func Run(cfg Config, pointSets ...[]cf.Point) (*Model, error) {
 			}
 		}
 	}
-	return Phase2(tree.SubClusters(), cfg.K)
+	return Phase2Workers(tree.SubClusters(), cfg.K, cfg.Workers)
 }
 
 // Plus is BIRCH+: the incrementally maintained clustering model. The CF-tree
@@ -342,7 +410,7 @@ func (p *Plus) observeTree(reg *obs.Registry) {
 func (p *Plus) Clusters() (*Model, error) {
 	span := obs.Default().Timer("birch.phase2.ns").Start()
 	defer span.End()
-	return Phase2(p.tree.SubClusters(), p.cfg.K)
+	return Phase2Workers(p.tree.SubClusters(), p.cfg.K, p.cfg.Workers)
 }
 
 // NumPoints returns the number of points absorbed so far.

@@ -48,6 +48,11 @@ type Counter interface {
 // prefix tree and scan every transaction of the selected blocks.
 type PTScan struct {
 	Blocks *itemset.BlockStore
+	// Workers shards each block's transactions across worker goroutines,
+	// counting with per-worker prefix trees merged additively; non-positive
+	// selects GOMAXPROCS, 1 keeps the scan serial. The merged counts are
+	// identical to the serial scan for every worker count.
+	Workers int
 }
 
 // Name implements Counter.
@@ -55,15 +60,13 @@ func (PTScan) Name() string { return "PT-Scan" }
 
 // Count implements Counter.
 func (c PTScan) Count(sets []itemset.Itemset, blocks []blockseq.ID) (map[itemset.Key]int, error) {
-	tree := itemset.NewPrefixTree(sets)
-	err := c.Blocks.ForEachTx(blocks, func(tx itemset.Transaction) error {
-		tree.CountTx(tx)
-		return nil
+	counts, err := scanBlocks(c.Blocks, blocks, c.Workers, func() itemset.TxCounter {
+		return itemset.NewPrefixTree(sets)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("borders: PT-Scan: %w", err)
 	}
-	return tree.Counts(), nil
+	return counts, nil
 }
 
 // HashTreeScan is the footnote-7 alternative to PT-Scan: same full scan,
@@ -72,6 +75,11 @@ type HashTreeScan struct {
 	Blocks  *itemset.BlockStore
 	Fanout  int // defaults to 8
 	LeafCap int // defaults to 16
+	// Workers shards each block's transactions across worker goroutines with
+	// per-worker hash trees (the trees carry per-instance visit state, so
+	// they cannot be shared); non-positive selects GOMAXPROCS, 1 keeps the
+	// scan serial.
+	Workers int
 }
 
 // Name implements Counter.
@@ -86,15 +94,38 @@ func (c HashTreeScan) Count(sets []itemset.Itemset, blocks []blockseq.ID) (map[i
 	if leafCap <= 0 {
 		leafCap = 16
 	}
-	tree := itemset.NewHashTree(sets, fanout, leafCap)
-	err := c.Blocks.ForEachTx(blocks, func(tx itemset.Transaction) error {
-		tree.CountTx(tx)
-		return nil
+	counts, err := scanBlocks(c.Blocks, blocks, c.Workers, func() itemset.TxCounter {
+		return itemset.NewHashTree(sets, fanout, leafCap)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("borders: HT-Scan: %w", err)
 	}
-	return tree.Counts(), nil
+	return counts, nil
+}
+
+// scanBlocks runs the full-scan counting loop shared by PT-Scan and HT-Scan:
+// each selected block is fetched and its transactions are sharded across
+// workers, each shard counting into its own structure from build; per-shard
+// counts merge additively (Section 3.1.1), so the totals are identical to a
+// single serial scan for every worker count.
+func scanBlocks(bs *itemset.BlockStore, blocks []blockseq.ID, workers int, build func() itemset.TxCounter) (map[itemset.Key]int, error) {
+	var total map[itemset.Key]int
+	for _, id := range blocks {
+		blk, err := bs.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		counts := itemset.ParallelCount(blk.Txs, workers, build)
+		if total == nil {
+			total = counts
+		} else {
+			itemset.MergeCounts(total, counts)
+		}
+	}
+	if total == nil {
+		total = build().Counts()
+	}
+	return total, nil
 }
 
 // ECUT counts through per-block item TID-lists.

@@ -8,6 +8,7 @@ import (
 	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/itemset"
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/par"
 )
 
 // Maintainer drives BORDERS maintenance of a Model. Blocks must be ingested
@@ -29,6 +30,59 @@ type Maintainer struct {
 	// "borders.count.<strategy>.bytes" — the quantity the Section 3.1.1
 	// ECUT-vs-PT-Scan argument turns on.
 	IO interface{ Stats() diskio.Stats }
+	// Workers shards the detection-phase scan of the new (or departing)
+	// block across worker goroutines, each counting into its own prefix tree
+	// with the per-shard counts merged additively; non-positive selects
+	// GOMAXPROCS, 1 keeps the scan serial. The resulting model is identical
+	// for every worker count.
+	Workers int
+}
+
+// scanTracked counts the tracked itemsets over txs, sharding the
+// transactions across the maintainer's workers. When isNew is non-nil it
+// also tallies, per shard, the occurrences of items isNew reports as
+// untracked; isNew must be safe for concurrent read-only calls. Both result
+// maps merge additively in shard order, so they equal the serial scan.
+func (mt *Maintainer) scanTracked(tracked []itemset.Itemset, txs []itemset.Transaction, isNew func(itemset.Item) bool) (map[itemset.Key]int, map[itemset.Item]int) {
+	type shardResult struct {
+		counts   map[itemset.Key]int
+		newItems map[itemset.Item]int
+	}
+	scan := func(txs []itemset.Transaction) shardResult {
+		tree := itemset.NewPrefixTree(tracked)
+		var newItems map[itemset.Item]int
+		if isNew != nil {
+			newItems = make(map[itemset.Item]int)
+		}
+		for _, tx := range txs {
+			tree.CountTx(tx)
+			if isNew != nil {
+				for _, it := range tx.Items {
+					if isNew(it) {
+						newItems[it]++
+					}
+				}
+			}
+		}
+		return shardResult{counts: tree.Counts(), newItems: newItems}
+	}
+	shards := par.Shards(len(txs), mt.Workers)
+	if shards <= 1 {
+		r := scan(txs)
+		return r.counts, r.newItems
+	}
+	results := make([]shardResult, shards)
+	par.Do(len(txs), mt.Workers, func(s, lo, hi int) {
+		results[s] = scan(txs[lo:hi])
+	})
+	total := results[0]
+	for _, r := range results[1:] {
+		itemset.MergeCounts(total.counts, r.counts)
+		for it, c := range r.newItems {
+			total.newItems[it] += c
+		}
+	}
+	return total.counts, total.newItems
 }
 
 // Empty returns a model over zero blocks.
@@ -65,26 +119,16 @@ func (mt *Maintainer) AddBlock(m *Model, blk *itemset.TxBlock) (Stats, error) {
 	for k := range l.Border {
 		tracked = append(tracked, k.Itemset())
 	}
-	tree := itemset.NewPrefixTree(tracked)
-	newItems := make(map[itemset.Item]int)
-	isTracked := func(it itemset.Item) bool {
+	isNew := func(it itemset.Item) bool {
 		k := itemset.Itemset{it}.Key()
-		_, f := l.Frequent[k]
-		if f {
-			return true
+		if _, f := l.Frequent[k]; f {
+			return false
 		}
 		_, b := l.Border[k]
-		return b
+		return !b
 	}
-	for _, tx := range blk.Txs {
-		tree.CountTx(tx)
-		for _, it := range tx.Items {
-			if !isTracked(it) {
-				newItems[it]++
-			}
-		}
-	}
-	for k, c := range tree.Counts() {
+	counts, newItems := mt.scanTracked(tracked, blk.Txs, isNew)
+	for k, c := range counts {
 		if _, ok := l.Frequent[k]; ok {
 			l.Frequent[k] += c
 		} else {
@@ -138,11 +182,8 @@ func (mt *Maintainer) DeleteBlock(m *Model, id blockseq.ID) (Stats, error) {
 	for k := range l.Border {
 		tracked = append(tracked, k.Itemset())
 	}
-	tree := itemset.NewPrefixTree(tracked)
-	for _, tx := range blk.Txs {
-		tree.CountTx(tx)
-	}
-	for k, c := range tree.Counts() {
+	counts, _ := mt.scanTracked(tracked, blk.Txs, nil)
+	for k, c := range counts {
 		if _, ok := l.Frequent[k]; ok {
 			l.Frequent[k] -= c
 		} else {

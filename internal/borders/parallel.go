@@ -2,11 +2,10 @@ package borders
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/par"
 )
 
 // ParallelCounter wraps a Counter and shards the selected blocks across
@@ -22,52 +21,44 @@ type ParallelCounter struct {
 	Workers int
 }
 
-// Name implements Counter.
-func (c ParallelCounter) Name() string { return c.Inner.Name() + "-parallel" }
+// Name implements Counter. It reports the inner counter's name unchanged so
+// observability counters (borders.counted.<name>) keep one stable name
+// regardless of the worker count.
+func (c ParallelCounter) Name() string { return c.Inner.Name() }
 
-// Count implements Counter.
+// Count implements Counter. When several shards fail, the error of the
+// lowest-index shard is returned — not whichever shard the scheduler
+// happened to finish first — so error reporting is deterministic across
+// runs and worker counts. With no blocks (or a single shard) the inner
+// counter is called directly on the calling goroutine; no goroutine is
+// spawned.
 func (c ParallelCounter) Count(sets []itemset.Itemset, blocks []blockseq.ID) (map[itemset.Key]int, error) {
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if len(blocks) == 0 {
+		return c.Inner.Count(sets, blocks)
 	}
-	if workers > len(blocks) {
-		workers = len(blocks)
-	}
-	if workers <= 1 {
+	shards := par.Shards(len(blocks), c.Workers)
+	if shards <= 1 {
 		return c.Inner.Count(sets, blocks)
 	}
 
 	// Contiguous shards keep block locality.
-	type result struct {
-		counts map[itemset.Key]int
-		err    error
+	partial := make([]map[itemset.Key]int, shards)
+	errs := make([]error, shards)
+	par.Do(len(blocks), c.Workers, func(s, lo, hi int) {
+		partial[s], errs[s] = c.Inner.Count(sets, blocks[lo:hi])
+	})
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("borders: parallel shard %d: %w", s, err)
+		}
 	}
-	results := make([]result, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * len(blocks) / workers
-		hi := (w + 1) * len(blocks) / workers
-		wg.Add(1)
-		go func(w int, shard []blockseq.ID) {
-			defer wg.Done()
-			counts, err := c.Inner.Count(sets, shard)
-			results[w] = result{counts: counts, err: err}
-		}(w, blocks[lo:hi])
-	}
-	wg.Wait()
 
 	total := make(map[itemset.Key]int, len(sets))
 	for _, x := range sets {
 		total[x.Key()] = 0
 	}
-	for w, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("borders: parallel shard %d: %w", w, r.err)
-		}
-		for k, v := range r.counts {
-			total[k] += v
-		}
+	for _, counts := range partial {
+		itemset.MergeCounts(total, counts)
 	}
 	return total, nil
 }

@@ -2,9 +2,11 @@ package borders
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/itemset"
@@ -38,14 +40,22 @@ func TestParallelCounterMatchesSerial(t *testing.T) {
 
 	counters := []Counter{
 		PTScan{Blocks: e.blocks},
+		PTScan{Blocks: e.blocks, Workers: 3},
 		HashTreeScan{Blocks: e.blocks},
+		HashTreeScan{Blocks: e.blocks, Workers: 3},
 		ECUT{TIDs: e.tids},
 		ECUTPlus{TIDs: e.tids},
 	}
+	var ref map[itemset.Key]int
 	for _, inner := range counters {
 		want, err := inner.Count(sets, ids)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = want
+		} else if !reflect.DeepEqual(want, ref) {
+			t.Fatalf("%s: counts diverge from the serial PT-Scan reference", inner.Name())
 		}
 		for _, workers := range []int{0, 1, 2, 3, 8, 100} {
 			pc := ParallelCounter{Inner: inner, Workers: workers}
@@ -86,6 +96,42 @@ func TestParallelCounterInMaintenance(t *testing.T) {
 	}
 }
 
+// TestMaintainerWorkersDeterministic: the sharded detection-phase scan must
+// yield the identical model for every worker count.
+func TestMaintainerWorkersDeterministic(t *testing.T) {
+	for _, workers := range []int{0, 2, 3, 8} {
+		rng := rand.New(rand.NewSource(82))
+		serial := newEnv(t, "PT-Scan", 0.1)
+		parallel := newEnv(t, "PT-Scan", 0.1)
+		serial.mt.Workers = 1
+		parallel.mt.Workers = workers
+
+		ms := serial.mt.Empty()
+		mp := parallel.mt.Empty()
+		tid := 0
+		for i := 1; i <= 4; i++ {
+			blk := randomBlock(rng, blockseq.ID(i), tid, 70, 10, 4)
+			tid += 70
+			serial.ingest(t, ms, blk)
+			parallel.ingest(t, mp, blk)
+			if _, err := serial.mt.AddBlock(ms, blk); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := parallel.mt.AddBlock(mp, blk); err != nil {
+				t.Fatal(err)
+			}
+			latticesMatch(t, "maintainer-workers", mp.Lattice, ms.Lattice)
+		}
+		if _, err := serial.mt.DeleteBlock(ms, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parallel.mt.DeleteBlock(mp, 1); err != nil {
+			t.Fatal(err)
+		}
+		latticesMatch(t, "maintainer-workers-delete", mp.Lattice, ms.Lattice)
+	}
+}
+
 type errCounter struct{}
 
 func (errCounter) Name() string { return "err" }
@@ -98,7 +144,77 @@ func TestParallelCounterPropagatesErrors(t *testing.T) {
 	if _, err := pc.Count([]itemset.Itemset{itemset.NewItemset(1)}, []blockseq.ID{1, 2, 3, 4}); err == nil {
 		t.Fatal("shard error not propagated")
 	}
-	if got := pc.Name(); got != "err-parallel" {
+	// The wrapper reports the inner name unchanged so obs counters keep one
+	// stable name regardless of the worker count.
+	if got := pc.Name(); got != "err" {
 		t.Fatalf("Name = %q", got)
+	}
+}
+
+// shardErrCounter fails on every shard with an error naming the shard's
+// first block, and stalls the lowest shard so later shards finish first —
+// the returned error must still be the lowest shard's.
+type shardErrCounter struct{ firstBlock blockseq.ID }
+
+func (shardErrCounter) Name() string { return "shard-err" }
+func (c shardErrCounter) Count(_ []itemset.Itemset, blocks []blockseq.ID) (map[itemset.Key]int, error) {
+	if len(blocks) > 0 && blocks[0] == c.firstBlock {
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("first block %d", blocks[0])
+}
+
+// TestParallelCounterDeterministicError: when several shards fail, the error
+// of the lowest-index shard is reported, deterministically, even when that
+// shard is the slowest to finish.
+func TestParallelCounterDeterministicError(t *testing.T) {
+	blocks := []blockseq.ID{10, 20, 30, 40, 50, 60}
+	pc := ParallelCounter{Inner: shardErrCounter{firstBlock: 10}, Workers: 3}
+	for trial := 0; trial < 20; trial++ {
+		_, err := pc.Count([]itemset.Itemset{itemset.NewItemset(1)}, blocks)
+		if err == nil {
+			t.Fatal("shard errors not propagated")
+		}
+		want := "borders: parallel shard 0: first block 10"
+		if err.Error() != want {
+			t.Fatalf("trial %d: error %q, want %q", trial, err.Error(), want)
+		}
+	}
+}
+
+// spyCounter records how many Count calls it receives; used to check the
+// no-blocks fast path delegates exactly once, serially.
+type spyCounter struct {
+	calls int
+}
+
+func (*spyCounter) Name() string { return "spy" }
+func (c *spyCounter) Count(sets []itemset.Itemset, blocks []blockseq.ID) (map[itemset.Key]int, error) {
+	c.calls++ // unsynchronized on purpose: -race flags any concurrent call
+	counts := make(map[itemset.Key]int, len(sets))
+	for _, x := range sets {
+		counts[x.Key()] = 0
+	}
+	return counts, nil
+}
+
+// TestParallelCounterEmptyBlocksNoSpawn: with zero blocks the counter
+// delegates serially (a single inner call, no goroutines — the unsynchronized
+// spy would trip -race otherwise) and still returns zeroed counts.
+func TestParallelCounterEmptyBlocksNoSpawn(t *testing.T) {
+	spy := &spyCounter{}
+	pc := ParallelCounter{Inner: spy, Workers: 8}
+	sets := []itemset.Itemset{itemset.NewItemset(1), itemset.NewItemset(2)}
+	counts, err := pc.Count(sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spy.calls != 1 {
+		t.Fatalf("inner Count called %d times, want 1", spy.calls)
+	}
+	for _, x := range sets {
+		if c, ok := counts[x.Key()]; !ok || c != 0 {
+			t.Fatalf("count[%v] = %d, %v", x, c, ok)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/demon-mining/demon/internal/itemset"
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/par"
 )
 
 // SignificanceMode selects how a deviation's p-value is computed.
@@ -39,6 +40,13 @@ type ItemsetDiffer struct {
 	Resamples int
 	// Seed drives the bootstrap resampling.
 	Seed int64
+	// Workers shards the deviation computation — the two per-block model
+	// builds run concurrently and the region counting scans shard over
+	// transactions — across worker goroutines: non-positive selects
+	// GOMAXPROCS, 1 keeps the computation serial. Results are identical for
+	// every worker count; bootstrap resampling stays serial (it threads one
+	// RNG).
+	Workers int
 }
 
 // Deviation implements Differ[*itemset.TxBlock].
@@ -51,11 +59,7 @@ func (d ItemsetDiffer) Deviation(a, b *itemset.TxBlock) (Deviation, error) {
 	if a.Len() == 0 || b.Len() == 0 {
 		return Deviation{}, fmt.Errorf("focus: cannot compare empty blocks (%d, %d transactions)", a.Len(), b.Len())
 	}
-	la, err := itemset.Apriori(itemset.SliceSource(a.Txs), nil, d.MinSupport)
-	if err != nil {
-		return Deviation{}, err
-	}
-	lb, err := itemset.Apriori(itemset.SliceSource(b.Txs), nil, d.MinSupport)
+	la, lb, err := d.minePair(a, b)
 	if err != nil {
 		return Deviation{}, err
 	}
@@ -66,11 +70,11 @@ func (d ItemsetDiffer) Deviation(a, b *itemset.TxBlock) (Deviation, error) {
 		return Deviation{Score: 0, PValue: 1, Regions: 0}, nil
 	}
 
-	ca, err := countsOver(gcr, la, a)
+	ca, err := countsOver(gcr, la, a, d.Workers)
 	if err != nil {
 		return Deviation{}, err
 	}
-	cb, err := countsOver(gcr, lb, b)
+	cb, err := countsOver(gcr, lb, b, d.Workers)
 	if err != nil {
 		return Deviation{}, err
 	}
@@ -90,6 +94,24 @@ func (d ItemsetDiffer) Deviation(a, b *itemset.TxBlock) (Deviation, error) {
 	}
 	obs.Default().Histogram("focus.deviation.regions").Observe(int64(len(gcr)))
 	return Deviation{Score: score, PValue: p, Regions: len(gcr)}, nil
+}
+
+// minePair builds the per-block frequent-itemset models, concurrently when
+// the differ has more than one worker; errors report the first block's
+// failure first, deterministically.
+func (d ItemsetDiffer) minePair(a, b *itemset.TxBlock) (*itemset.Lattice, *itemset.Lattice, error) {
+	blks := [2]*itemset.TxBlock{a, b}
+	var lats [2]*itemset.Lattice
+	var errs [2]error
+	par.Do(2, d.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lats[i], errs[i] = itemset.Apriori(itemset.SliceSource(blks[i].Txs), nil, d.MinSupport)
+		}
+	})
+	if err := par.FirstError(errs[:]); err != nil {
+		return nil, nil, err
+	}
+	return lats[0], lats[1], nil
 }
 
 // unionFrequent returns the sorted union of the two models' frequent
@@ -116,8 +138,8 @@ func unionFrequent(la, lb *itemset.Lattice) []itemset.Itemset {
 
 // countsOver returns the support count of every GCR itemset in the block,
 // reusing lattice counts where tracked and scanning the block once for the
-// rest.
-func countsOver(gcr []itemset.Itemset, l *itemset.Lattice, blk *itemset.TxBlock) (map[itemset.Key]int, error) {
+// rest; the scan shards over transactions across the given workers.
+func countsOver(gcr []itemset.Itemset, l *itemset.Lattice, blk *itemset.TxBlock, workers int) (map[itemset.Key]int, error) {
 	out := make(map[itemset.Key]int, len(gcr))
 	var missing []itemset.Itemset
 	for _, x := range gcr {
@@ -131,11 +153,10 @@ func countsOver(gcr []itemset.Itemset, l *itemset.Lattice, blk *itemset.TxBlock)
 		}
 	}
 	if len(missing) > 0 {
-		tree := itemset.NewPrefixTree(missing)
-		for _, tx := range blk.Txs {
-			tree.CountTx(tx)
-		}
-		for k, c := range tree.Counts() {
+		counts := itemset.ParallelCount(blk.Txs, workers, func() itemset.TxCounter {
+			return itemset.NewPrefixTree(missing)
+		})
+		for k, c := range counts {
 			out[k] = c
 		}
 	}
@@ -215,8 +236,8 @@ func (d ItemsetDiffer) bootstrapPValue(gcr []itemset.Itemset, a, b *itemset.TxBl
 	exceed := 0
 	for r := 0; r < resamples; r++ {
 		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-		ca := countInto(gcr, pool[:a.Len()])
-		cb := countInto(gcr, pool[a.Len():])
+		ca := countInto(gcr, pool[:a.Len()], d.Workers)
+		cb := countInto(gcr, pool[a.Len():], d.Workers)
 		if deviationScore(gcr, ca, cb, a.Len(), b.Len()) >= observed-1e-12 {
 			exceed++
 		}
@@ -225,12 +246,10 @@ func (d ItemsetDiffer) bootstrapPValue(gcr []itemset.Itemset, a, b *itemset.TxBl
 	return (float64(exceed) + 1) / (float64(resamples) + 1), nil
 }
 
-func countInto(gcr []itemset.Itemset, txs []itemset.Transaction) map[itemset.Key]int {
-	tree := itemset.NewPrefixTree(gcr)
-	for _, tx := range txs {
-		tree.CountTx(tx)
-	}
-	return tree.Counts()
+func countInto(gcr []itemset.Itemset, txs []itemset.Transaction, workers int) map[itemset.Key]int {
+	return itemset.ParallelCount(txs, workers, func() itemset.TxCounter {
+		return itemset.NewPrefixTree(gcr)
+	})
 }
 
 // TopDifferences reports the itemsets with the largest absolute support
@@ -238,20 +257,16 @@ func countInto(gcr []itemset.Itemset, txs []itemset.Transaction) map[itemset.Key
 // deviation, used by the CLI to explain why two blocks were found
 // dissimilar. It returns at most n entries, largest difference first.
 func (d ItemsetDiffer) TopDifferences(a, b *itemset.TxBlock, n int) ([]SupportDiff, error) {
-	la, err := itemset.Apriori(itemset.SliceSource(a.Txs), nil, d.MinSupport)
-	if err != nil {
-		return nil, err
-	}
-	lb, err := itemset.Apriori(itemset.SliceSource(b.Txs), nil, d.MinSupport)
+	la, lb, err := d.minePair(a, b)
 	if err != nil {
 		return nil, err
 	}
 	gcr := unionFrequent(la, lb)
-	ca, err := countsOver(gcr, la, a)
+	ca, err := countsOver(gcr, la, a, d.Workers)
 	if err != nil {
 		return nil, err
 	}
-	cb, err := countsOver(gcr, lb, b)
+	cb, err := countsOver(gcr, lb, b, d.Workers)
 	if err != nil {
 		return nil, err
 	}

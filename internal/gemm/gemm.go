@@ -8,9 +8,11 @@ package gemm
 
 import (
 	"fmt"
+	"reflect"
 
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/par"
 )
 
 // Maintainer is the abstraction of the paper's A_M: it can create an empty
@@ -67,6 +69,8 @@ type GEMM[B, M any] struct {
 	models []M                   // length w; slot 0 = current
 	t      blockseq.ID
 	broken error
+	// workers is the slot-maintenance worker knob; see SetWorkers.
+	workers int
 }
 
 // NewWindowIndependent creates a GEMM following a window-independent BSS.
@@ -99,6 +103,13 @@ func NewWindowRelative[B, M any](am Maintainer[B, M], rel blockseq.WindowRelBSS)
 	}
 	return g, nil
 }
+
+// SetWorkers sets the worker count AddBlock fans slot maintenance across:
+// non-positive selects GOMAXPROCS, 1 keeps slot updates serial. Models in
+// different slots are independent, so the resulting collection is identical
+// for every worker count; A_M.Add must be safe for concurrent calls on
+// distinct models. SetWorkers must not be called concurrently with AddBlock.
+func (g *GEMM[B, M]) SetWorkers(n int) { g.workers = n }
 
 // Kind returns the BSS flavour.
 func (g *GEMM[B, M]) Kind() Kind { return g.kind }
@@ -141,6 +152,9 @@ func (g *GEMM[B, M]) bitFor(slot int, id blockseq.ID) bool {
 // updated with the new block when its (projected or right-shifted) sequence
 // selects it, and a fresh model for the newest future window is started.
 //
+// Slot updates fan across the workers configured with SetWorkers; slots
+// aliasing one model update it exactly once.
+//
 // id must be exactly T()+1. If any A_M update fails, the collection is left
 // inconsistent and the GEMM instance refuses further use.
 func (g *GEMM[B, M]) AddBlock(blk B, id blockseq.ID) error {
@@ -158,20 +172,48 @@ func (g *GEMM[B, M]) AddBlock(blk B, id blockseq.ID) error {
 	copy(next, g.models[1:])
 	next[g.w-1] = g.am.Empty()
 
-	updated := 0
+	// Collect the selected slots, grouped by model identity: slots aliasing
+	// one model (possible after RestoreState) update it once. Groups are
+	// independent, so they fan across the configured workers; on failure the
+	// error of the lowest-index slot is reported, deterministically.
+	selected := make([]int, 0, g.w)
 	for j := 0; j < g.w; j++ {
-		if !g.bitFor(j, id) {
-			continue
+		if g.bitFor(j, id) {
+			selected = append(selected, j)
 		}
-		m, err := g.am.Add(next[j], blk)
+	}
+	groups := make([][]int, 0, len(selected))
+	byPtr := make(map[uintptr]int)
+	for _, j := range selected {
+		if p, ok := modelPointer(next[j]); ok {
+			if gi, dup := byPtr[p]; dup {
+				groups[gi] = append(groups[gi], j)
+				continue
+			}
+			byPtr[p] = len(groups)
+		}
+		groups = append(groups, []int{j})
+	}
+	results := make([]M, len(groups))
+	errs := make([]error, len(groups))
+	par.Do(len(groups), g.workers, func(_, lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			results[gi], errs[gi] = g.am.Add(next[groups[gi][0]], blk)
+		}
+	})
+	for gi, err := range errs {
 		if err != nil {
 			g.broken = err
 			span.End()
-			return fmt.Errorf("gemm: updating slot %d with block %d: %w", j, id, err)
+			return fmt.Errorf("gemm: updating slot %d with block %d: %w", groups[gi][0], id, err)
 		}
-		next[j] = m
-		updated++
 	}
+	for gi, slots := range groups {
+		for _, j := range slots {
+			next[j] = results[gi]
+		}
+	}
+	updated := len(selected)
 	g.models = next
 	g.t = id
 	span.EndObserving(reg.Counter("gemm.slot_updates"), int64(updated))
@@ -207,6 +249,19 @@ func (g *GEMM[B, M]) RestoreState(models []M, t blockseq.ID) error {
 	g.t = t
 	g.broken = nil
 	return nil
+}
+
+// modelPointer returns a pointer identity for reference-kind models, used to
+// detect slots aliasing one model. Value-kind models (structs, slices, …)
+// report no identity and are treated as distinct slots.
+func modelPointer[M any](m M) (uintptr, bool) {
+	v := reflect.ValueOf(m)
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		p := v.Pointer()
+		return p, p != 0
+	}
+	return 0, false
 }
 
 // DistinctModels returns how many of the w maintained models are necessarily

@@ -336,3 +336,105 @@ func TestRestoreStateRepairsBrokenMaintainer(t *testing.T) {
 		t.Fatalf("restored maintainer still broken: %v", err)
 	}
 }
+
+// TestAddBlockWorkersMetamorphic checks the metamorphic property of the
+// parallel slot fan-out: for random BSSes and block streams, a GEMM run at
+// any worker count produces exactly the slot collection of a serial run,
+// and the current model keeps matching the from-scratch naive oracles.
+func TestAddBlockWorkersMetamorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	workerCounts := []int{0, 2, 3, 8}
+	for trial := 0; trial < 30; trial++ {
+		w := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(15)
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+		}
+		relBits := make([]bool, w)
+		for i := range relBits {
+			relBits[i] = rng.Intn(2) == 1
+		}
+		bss := blockseq.Explicit{Bits: bits}
+		rel := blockseq.NewWindowRel(relBits...)
+
+		for _, workers := range workerCounts {
+			gi, err := NewWindowIndependent[blockseq.ID, []blockseq.ID](bagMaintainer{}, w, bss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gi.SetWorkers(workers)
+			si, err := NewWindowIndependent[blockseq.ID, []blockseq.ID](bagMaintainer{}, w, bss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gr, err := NewWindowRelative[blockseq.ID, []blockseq.ID](bagMaintainer{}, rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gr.SetWorkers(workers)
+			sr, err := NewWindowRelative[blockseq.ID, []blockseq.ID](bagMaintainer{}, rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := blockseq.ID(1); id <= blockseq.ID(n); id++ {
+				for _, g := range []*GEMM[blockseq.ID, []blockseq.ID]{gi, si, gr, sr} {
+					if err := g.AddBlock(id, id); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !reflect.DeepEqual(gi.Slots(), si.Slots()) {
+					t.Fatalf("trial %d workers %d t=%d: window-independent slots %v != serial %v",
+						trial, workers, id, gi.Slots(), si.Slots())
+				}
+				if !reflect.DeepEqual(gr.Slots(), sr.Slots()) {
+					t.Fatalf("trial %d workers %d t=%d: window-relative slots %v != serial %v",
+						trial, workers, id, gr.Slots(), sr.Slots())
+				}
+				if want, got := naiveWindowIndependent(bss, id, w), gi.Current(); len(want)+len(got) > 0 && !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d workers %d t=%d: current %v != naive %v", trial, workers, id, got, want)
+				}
+				if want, got := naiveWindowRelative(rel, id, w), gr.Current(); len(want)+len(got) > 0 && !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d workers %d t=%d: window-relative current %v != naive %v",
+						trial, workers, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+// countingMaintainer's model is a pointer whose pointee counts Add calls —
+// it detects a slot group updating its shared model more than once.
+type countingMaintainer struct{}
+
+func (countingMaintainer) Empty() *int { n := 0; return &n }
+
+func (countingMaintainer) Add(m *int, _ blockseq.ID) (*int, error) {
+	*m++
+	return m, nil
+}
+
+// TestAddBlockAliasedSlotsUpdateOnce restores one shared model into every
+// slot and verifies a parallel AddBlock updates it exactly once: aliased
+// slots form one update group regardless of the worker count.
+func TestAddBlockAliasedSlotsUpdateOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g, err := NewWindowIndependent[blockseq.ID, *int](countingMaintainer{}, 4, blockseq.All{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetWorkers(workers)
+		shared := 0
+		if err := g.RestoreState([]*int{&shared, &shared, &shared, &shared}, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddBlock(3, 3); err != nil {
+			t.Fatal(err)
+		}
+		// Slots 0..2 alias the restored model (slot 3 is fresh): one group,
+		// one Add.
+		if shared != 1 {
+			t.Fatalf("workers %d: shared model updated %d times, want 1", workers, shared)
+		}
+	}
+}

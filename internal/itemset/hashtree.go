@@ -53,31 +53,30 @@ func (t *HashTree) hash(it Item) int { return int(uint32(it)) % t.fanout }
 
 func (t *HashTree) insert(n *htNode, idx int) {
 	c := t.cands[idx]
-	for n.children != nil {
+	// Descend while the candidate still has an item to hash at this depth. A
+	// candidate shorter than the subtree it hashes into (split that deep by
+	// longer candidates) is parked on the interior node itself, where counting
+	// verifies it like any leaf entry.
+	for n.children != nil && n.depth < len(c) {
 		n = n.children[t.hash(c[n.depth])]
 	}
 	n.leaf = append(n.leaf, idx)
-	// Split an overflowing leaf unless the candidates are too short to hash
-	// one level deeper.
-	if len(n.leaf) > t.leafCap && n.depth < len(c) {
-		splittable := true
-		for _, i := range n.leaf {
-			if len(t.cands[i]) <= n.depth {
-				splittable = false
-				break
-			}
-		}
-		if !splittable {
-			return
-		}
-		old := n.leaf
-		n.leaf = nil
-		n.children = make([]*htNode, t.fanout)
-		for b := range n.children {
-			n.children[b] = &htNode{depth: n.depth + 1}
-		}
-		for _, i := range old {
-			t.insert(n.children[t.hash(t.cands[i][n.depth])], i)
+	if n.children != nil || len(n.leaf) <= t.leafCap {
+		return
+	}
+	// Split the overflowing leaf: entries with an item to hash at this depth
+	// move into children, shorter ones stay parked here.
+	old := n.leaf
+	n.leaf = nil
+	n.children = make([]*htNode, t.fanout)
+	for b := range n.children {
+		n.children[b] = &htNode{depth: n.depth + 1}
+	}
+	for _, i := range old {
+		if ci := t.cands[i]; len(ci) > n.depth {
+			t.insert(n.children[t.hash(ci[n.depth])], i)
+		} else {
+			n.leaf = append(n.leaf, i)
 		}
 	}
 }
@@ -93,21 +92,21 @@ func (t *HashTree) CountTx(tx Transaction) {
 	t.count(t.root, tx.Items, tx.Items)
 }
 
-// count descends hashing successive transaction items; at a leaf, candidates
-// are verified against the full transaction (the hash path only guarantees
-// hash equality, not item equality) and each leaf is visited at most once per
-// transaction.
+// count descends hashing successive transaction items; candidates stored on a
+// node — leaf entries and the short ones parked on interior nodes — are
+// verified against the full transaction (the hash path only guarantees hash
+// equality, not item equality) and each node's list is visited at most once
+// per transaction.
 func (t *HashTree) count(n *htNode, items, full Itemset) {
-	if n.children == nil {
-		if t.visited[n] {
-			return
-		}
+	if len(n.leaf) > 0 && !t.visited[n] {
 		t.visited[n] = true
 		for _, idx := range n.leaf {
 			if t.cands[idx].SubsetOf(full) {
 				t.counts[idx]++
 			}
 		}
+	}
+	if n.children == nil {
 		return
 	}
 	// At depth d the candidate's d-th item was hashed; try every remaining

@@ -1,0 +1,53 @@
+package itemset
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestParallelCountMatchesSerial: sharded counting with additive merge equals
+// the serial scan for every worker count, for both counting structures.
+func TestParallelCountMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	txs := randomTxs(r, 400, 30, 5)
+	for _, k := range []int{1, 2, 3} {
+		cands := randomCands(r, 20, 30, k)
+		want := ParallelPrefixCount(cands, txs, 1)
+		builders := map[string]func() TxCounter{
+			"prefix": func() TxCounter { return NewPrefixTree(cands) },
+			"hash":   func() TxCounter { return NewHashTree(cands, 4, 3) },
+		}
+		for name, build := range builders {
+			for _, w := range []int{0, 1, 2, 3, 7, runtime.GOMAXPROCS(0), 500} {
+				got := ParallelCount(txs, w, build)
+				if len(got) != len(want) {
+					t.Fatalf("k=%d %s workers=%d: %d counts, want %d", k, name, w, len(got), len(want))
+				}
+				for key, c := range want {
+					if got[key] != c {
+						t.Fatalf("k=%d %s workers=%d: count[%v] = %d, want %d", k, name, w, key, got[key], c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelCountEmpty(t *testing.T) {
+	cands := []Itemset{NewItemset(1)}
+	got := ParallelPrefixCount(cands, nil, 8)
+	if got[cands[0].Key()] != 0 {
+		t.Fatalf("empty scan count = %d", got[cands[0].Key()])
+	}
+}
+
+func TestMergeCounts(t *testing.T) {
+	a := NewItemset(1).Key()
+	b := NewItemset(2).Key()
+	dst := map[Key]int{a: 2}
+	MergeCounts(dst, map[Key]int{a: 3, b: 1})
+	if dst[a] != 5 || dst[b] != 1 {
+		t.Fatalf("merged = %v", dst)
+	}
+}

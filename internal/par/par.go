@@ -1,0 +1,90 @@
+// Package par is the worker-pool substrate of DEMON's parallel ingestion
+// layer. Every parallel path in the repository — candidate counting sharded
+// over transaction ranges, TID-list materialization, GEMM slot maintenance,
+// BIRCH+ phase 2, FOCUS deviations — resolves its worker count and fans out
+// through this package, so the "Workers" knob means the same thing
+// everywhere: 0 (or any non-positive value) selects GOMAXPROCS, 1 keeps the
+// path serial, and n > 1 uses n workers.
+//
+// All helpers here are deterministic by construction: work is split into
+// contiguous index ranges, each shard writes only to its own slot, and
+// callers merge shard results in shard order. Because every merged quantity
+// in DEMON is either additive (support counts, histograms — the Section
+// 3.1.1 additivity property) or order-insensitive, results are identical to
+// the serial computation for every worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: non-positive selects GOMAXPROCS,
+// anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Shards returns the number of contiguous shards [0, n) is split into under
+// the resolved worker count: min(Workers(workers), n), and 0 when n == 0.
+func Shards(n, workers int) int {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// Bounds returns the half-open range [lo, hi) of shard s out of shards over
+// [0, n). Shards are contiguous and their sizes differ by at most one.
+func Bounds(n, shards, s int) (lo, hi int) {
+	return s * n / shards, (s + 1) * n / shards
+}
+
+// Do splits [0, n) into contiguous shards under the given worker knob and
+// runs fn(shard, lo, hi) concurrently, one goroutine per shard. With one
+// shard (or fewer than two items) fn runs on the calling goroutine — no
+// goroutine is spawned for serial work. Do returns when every shard is done.
+//
+// fn must confine its writes to per-shard state (e.g. slot `shard` of a
+// results slice); Do itself performs no merging.
+func Do(n, workers int, fn func(shard, lo, hi int)) {
+	shards := Shards(n, workers)
+	if shards <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := Bounds(n, shards, s)
+			fn(s, lo, hi)
+		}(s)
+	}
+	lo, hi := Bounds(n, shards, 0)
+	fn(0, lo, hi)
+	wg.Wait()
+}
+
+// FirstError returns the error of the lowest-index shard that failed, or nil
+// when no shard failed. Using the lowest index (rather than whichever shard
+// happened to finish first) keeps error reporting deterministic across
+// schedules and worker counts.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

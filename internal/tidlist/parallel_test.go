@@ -1,0 +1,108 @@
+package tidlist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+func randomRows(rng *rand.Rand, n, universe, avgLen int) [][]itemset.Item {
+	rows := make([][]itemset.Item, n)
+	for i := range rows {
+		m := 1 + rng.Intn(2*avgLen)
+		rows[i] = make([]itemset.Item, m)
+		for j := range rows[i] {
+			rows[i][j] = itemset.Item(rng.Intn(universe))
+		}
+	}
+	return rows
+}
+
+// storeBytes snapshots every key/value of a diskio store.
+func storeBytes(t *testing.T, s diskio.Store) map[string][]byte {
+	t.Helper()
+	keys, err := s.Keys("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		v, err := s.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func sameStoreBytes(t *testing.T, label string, got, want map[string][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d keys, want %d", label, len(got), len(want))
+	}
+	for k, v := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("%s: key %q missing", label, k)
+		}
+		if !bytes.Equal(g, v) {
+			t.Fatalf("%s: key %q bytes differ", label, k)
+		}
+	}
+}
+
+// TestMaterializeParallelByteIdentical: the stored TID-list bytes must be
+// identical to the serial path for every worker count, for both item lists
+// and budgeted pair materialization.
+func TestMaterializeParallelByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rows := randomRows(rng, 300, 25, 6)
+	blk := makeBlock(1, 100, rows)
+
+	// Pairs ranked by support over the block, as the ECUT+ heuristic feeds
+	// them; include enough that the budget skips some.
+	var pairs []itemset.Itemset
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			pairs = append(pairs, itemset.NewItemset(itemset.Item(a), itemset.Item(b)))
+		}
+	}
+
+	run := func(workers int) (map[string][]byte, []itemset.Itemset, int64) {
+		mem := diskio.NewMemStore()
+		s := NewStore(mem)
+		s.SetWorkers(workers)
+		if err := s.Materialize(blk); err != nil {
+			t.Fatal(err)
+		}
+		chosen, used, err := s.MaterializePairs(blk, pairs, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return storeBytes(t, mem), chosen, used
+	}
+
+	wantBytes, wantChosen, wantUsed := run(1)
+	if len(wantBytes) == 0 {
+		t.Fatal("serial run stored nothing")
+	}
+	for _, workers := range []int{0, 2, 3, 8, 100} {
+		got, chosen, used := run(workers)
+		if used != wantUsed {
+			t.Fatalf("workers=%d: used %d entries, want %d", workers, used, wantUsed)
+		}
+		if len(chosen) != len(wantChosen) {
+			t.Fatalf("workers=%d: chose %d pairs, want %d", workers, len(chosen), len(wantChosen))
+		}
+		for i := range chosen {
+			if chosen[i].Key() != wantChosen[i].Key() {
+				t.Fatalf("workers=%d: chosen[%d] = %v, want %v", workers, i, chosen[i], wantChosen[i])
+			}
+		}
+		sameStoreBytes(t, "workers", got, wantBytes)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/par"
 )
 
 // Store materializes and serves per-block TID-lists. For every ingested
@@ -27,6 +28,8 @@ type Store struct {
 	// entriesRead counts TIDs decoded from storage, the paper's "amount of
 	// data fetched" cost metric.
 	entriesRead atomic.Int64
+	// workers is the materialization worker knob; see SetWorkers.
+	workers int
 }
 
 // NewStore wraps a diskio.Store.
@@ -46,6 +49,13 @@ func pairIdxKey(id blockseq.ID) string {
 	return fmt.Sprintf("tid2idx/%08d", id)
 }
 
+// SetWorkers sets the worker count Materialize and MaterializePairs shard
+// their scan and encode work across: non-positive selects GOMAXPROCS, 1
+// keeps materialization serial. Writes stay serial and ordered regardless,
+// so the stored bytes are identical to the serial path for every worker
+// count. SetWorkers must not be called concurrently with materialization.
+func (s *Store) SetWorkers(n int) { s.workers = n }
+
 // EntriesRead returns the total number of TIDs decoded from storage since
 // the store was created or ResetEntriesRead was called.
 func (s *Store) EntriesRead() int64 { return s.entriesRead.Load() }
@@ -57,11 +67,25 @@ func (s *Store) ResetEntriesRead() { s.entriesRead.Store(0) }
 // occurring in the block. It performs the single scan described in the
 // paper: each transaction's TID is appended to the buffer of each of its
 // items, and buffers are flushed at the end.
+// The scan and the per-item encoding are sharded across the configured
+// workers; TIDs increase with transaction index, so concatenating per-shard
+// buffers in shard order preserves sorted order and the flushed bytes are
+// identical to a serial pass.
 func (s *Store) Materialize(b *itemset.TxBlock) error {
-	buffers := make(map[itemset.Item]List)
-	for _, tx := range b.Txs {
-		for _, it := range tx.Items {
-			buffers[it] = append(buffers[it], tx.TID)
+	var buffers map[itemset.Item]List
+	shards := par.Shards(len(b.Txs), s.workers)
+	if shards <= 1 {
+		buffers = scanItemLists(b.Txs)
+	} else {
+		part := make([]map[itemset.Item]List, shards)
+		par.Do(len(b.Txs), s.workers, func(sh, lo, hi int) {
+			part[sh] = scanItemLists(b.Txs[lo:hi])
+		})
+		buffers = part[0]
+		for _, p := range part[1:] {
+			for it, l := range p {
+				buffers[it] = append(buffers[it], l...)
+			}
 		}
 	}
 	// Deterministic write order.
@@ -70,12 +94,30 @@ func (s *Store) Materialize(b *itemset.TxBlock) error {
 		items = append(items, it)
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-	for _, it := range items {
-		if err := s.store.Put(itemKey(b.ID, it), diskio.AppendSortedInts(nil, buffers[it])); err != nil {
+	enc := make([][]byte, len(items))
+	par.Do(len(items), s.workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			enc[i] = diskio.AppendSortedInts(nil, buffers[items[i]])
+		}
+	})
+	for i, it := range items {
+		if err := s.store.Put(itemKey(b.ID, it), enc[i]); err != nil {
 			return fmt.Errorf("tidlist: materializing block %d item %d: %w", b.ID, it, err)
 		}
 	}
 	return nil
+}
+
+// scanItemLists appends each transaction's TID to the buffer of each of its
+// items — the single materialization scan, over one shard of the block.
+func scanItemLists(txs []itemset.Transaction) map[itemset.Item]List {
+	buffers := make(map[itemset.Item]List)
+	for _, tx := range txs {
+		for _, it := range tx.Items {
+			buffers[it] = append(buffers[it], tx.TID)
+		}
+	}
+	return buffers
 }
 
 // MaterializePairs persists TID-lists for 2-itemsets of the block following
@@ -84,27 +126,41 @@ func (s *Store) Materialize(b *itemset.TxBlock) error {
 // σ_D), and materialization stops when the entry budget M (total TIDs
 // stored) would be exceeded. It returns the pairs actually materialized and
 // the number of entries used. A negative budget means unlimited.
+// The per-pair block scans and list encodes are sharded across the
+// configured workers; the budget decisions and writes run serially in pair
+// order afterwards, so the chosen set and stored bytes are identical to the
+// serial path for every worker count.
 func (s *Store) MaterializePairs(b *itemset.TxBlock, pairs []itemset.Itemset, budget int64) ([]itemset.Itemset, int64, error) {
-	idx := make(map[itemset.Key]bool)
-	var used int64
-	var chosen []itemset.Itemset
 	for _, p := range pairs {
 		if len(p) != 2 {
 			return nil, 0, fmt.Errorf("tidlist: MaterializePairs got %d-itemset %v", len(p), p)
 		}
-		var list List
-		for _, tx := range b.Txs {
-			if tx.Contains(p) {
-				list = append(list, tx.TID)
+	}
+	lengths := make([]int, len(pairs))
+	encoded := make([][]byte, len(pairs))
+	par.Do(len(pairs), s.workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var list List
+			for _, tx := range b.Txs {
+				if tx.Contains(pairs[i]) {
+					list = append(list, tx.TID)
+				}
 			}
+			lengths[i] = len(list)
+			encoded[i] = diskio.AppendSortedInts(nil, list)
 		}
-		if budget >= 0 && used+int64(len(list)) > budget {
+	})
+	idx := make(map[itemset.Key]bool)
+	var used int64
+	var chosen []itemset.Itemset
+	for i, p := range pairs {
+		if budget >= 0 && used+int64(lengths[i]) > budget {
 			continue // paper: choose as many as possible, in support order
 		}
-		if err := s.store.Put(pairKey(b.ID, p), diskio.AppendSortedInts(nil, list)); err != nil {
+		if err := s.store.Put(pairKey(b.ID, p), encoded[i]); err != nil {
 			return nil, 0, fmt.Errorf("tidlist: materializing pair %v: %w", p, err)
 		}
-		used += int64(len(list))
+		used += int64(lengths[i])
 		idx[p.Key()] = true
 		chosen = append(chosen, p)
 	}

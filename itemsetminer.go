@@ -2,12 +2,14 @@ package demon
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/borders"
 	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/par"
 	"github.com/demon-mining/demon/internal/tidlist"
 )
 
@@ -27,9 +29,13 @@ type ItemsetMinerConfig struct {
 	// materialized 2-itemset lists (the M_i of Section 3.1.1). Zero or
 	// negative means unlimited. Ignored unless Strategy is ECUTPlus.
 	ECUTPlusBudget int64
-	// Workers shards update-phase counting across goroutines (blocks are
-	// independent by the additivity property). Zero or one keeps counting
-	// serial; negative selects GOMAXPROCS.
+	// Workers is the parallel-ingestion knob: it shards detection-phase
+	// scans, update-phase counting (blocks and transaction ranges are
+	// independent by the additivity property), and TID-list materialization
+	// across worker goroutines. Zero or negative selects GOMAXPROCS; 1 keeps
+	// ingestion serial; larger values use that many workers. Every parallel
+	// path is deterministic: the model, the stored bytes, and the counting
+	// observability counters are identical for every worker count.
 	Workers int
 	// AutoCheckpointEvery checkpoints the model automatically after every
 	// N-th block, inside the same atomic transaction as the block itself.
@@ -62,6 +68,11 @@ type MaintenanceReport struct {
 // transactional database, using the BORDERS algorithm with the configured
 // counting strategy.
 type ItemsetMiner struct {
+	// mu makes readers (FrequentItemsets, Lattice, T, ModelBlocks) safe
+	// concurrently with the mutating calls (AddBlock, DeleteOldestBlock,
+	// ChangeMinSupport, Checkpoint). Mutators take the write lock; readers
+	// share the read lock.
+	mu      sync.RWMutex
 	cfg     ItemsetMinerConfig
 	io      *diskio.TxnStore // cfg.Store wrapped with atomic transactions
 	blocks  *itemset.BlockStore
@@ -95,12 +106,12 @@ func NewItemsetMiner(cfg ItemsetMinerConfig) (*ItemsetMiner, error) {
 	}
 	m.blocks = itemset.NewBlockStore(m.io)
 	m.tids = tidlist.NewStore(m.io)
-	counter, err := newCounter(cfg.Strategy, m.blocks, m.tids)
+	m.tids.SetWorkers(cfg.Workers)
+	counter, err := newCounter(cfg.Strategy, m.blocks, m.tids, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	counter = parallelize(counter, cfg.Workers)
-	m.mt = &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: m.io}
+	m.mt = &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: m.io, Workers: cfg.Workers}
 	m.model = m.mt.Empty()
 	return m, nil
 }
@@ -113,25 +124,30 @@ func (m *ItemsetMiner) unusable() error {
 	return fmt.Errorf("demon: miner unusable after failed block (resume from the last checkpoint): %w", m.err)
 }
 
-// parallelize wraps a counter in block-sharded parallel counting when more
-// than one worker is requested.
+// parallelize wraps a counter in block-sharded parallel counting when the
+// resolved worker count exceeds one.
 func parallelize(c borders.Counter, workers int) borders.Counter {
-	if workers == 0 || workers == 1 {
+	if par.Workers(workers) <= 1 {
 		return c
 	}
 	return borders.ParallelCounter{Inner: c, Workers: workers}
 }
 
-func newCounter(s CountingStrategy, bs *itemset.BlockStore, ts *tidlist.Store) (borders.Counter, error) {
+// newCounter builds the update-phase counting strategy. The full-scan
+// strategies shard each block's transactions across the workers; the
+// TID-list strategies shard the selected blocks instead (per-item lists are
+// per-block, so blocks are the natural unit there). Either way the counts
+// are identical to a serial pass.
+func newCounter(s CountingStrategy, bs *itemset.BlockStore, ts *tidlist.Store, workers int) (borders.Counter, error) {
 	switch s {
 	case PTScan:
-		return borders.PTScan{Blocks: bs}, nil
+		return borders.PTScan{Blocks: bs, Workers: workers}, nil
 	case HashTree:
-		return borders.HashTreeScan{Blocks: bs}, nil
+		return borders.HashTreeScan{Blocks: bs, Workers: workers}, nil
 	case ECUT:
-		return borders.ECUT{TIDs: ts}, nil
+		return parallelize(borders.ECUT{TIDs: ts}, workers), nil
 	case ECUTPlus:
-		return borders.ECUTPlus{TIDs: ts}, nil
+		return parallelize(borders.ECUTPlus{TIDs: ts}, workers), nil
 	default:
 		return nil, fmt.Errorf("demon: unknown counting strategy %d", int(s))
 	}
@@ -208,6 +224,8 @@ func frequent2ItemsetsBySupport(l *itemset.Lattice) []itemset.Itemset {
 // becomes unusable (the in-memory model may disagree with the rolled-back
 // store); reopen it with ResumeItemsetMiner.
 func (m *ItemsetMiner) AddBlock(transactions [][]Item) (rep *MaintenanceReport, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return nil, m.unusable()
 	}
@@ -258,6 +276,8 @@ func (m *ItemsetMiner) AddBlock(transactions [][]Item) (rep *MaintenanceReport, 
 // DeleteOldestBlock removes the oldest selected block from the model (the
 // AuM option of Section 3.2.4). The block's data remains in the store.
 func (m *ItemsetMiner) DeleteOldestBlock() (*MaintenanceReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return nil, m.unusable()
 	}
@@ -283,6 +303,8 @@ func (m *ItemsetMiner) DeleteOldestBlock() (*MaintenanceReport, error) {
 // ChangeMinSupport retargets the model to a new threshold κ′: raising is
 // free, lowering triggers the BORDERS update phase.
 func (m *ItemsetMiner) ChangeMinSupport(minsup float64) (*MaintenanceReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return nil, m.unusable()
 	}
@@ -301,13 +323,20 @@ func (m *ItemsetMiner) ChangeMinSupport(minsup float64) (*MaintenanceReport, err
 	}, nil
 }
 
-// Lattice returns the maintained model (frequent itemsets and negative
-// border with counts). The returned lattice is live; clone before mutating.
-func (m *ItemsetMiner) Lattice() *Lattice { return m.model.Lattice }
+// Lattice returns a snapshot of the maintained model (frequent itemsets and
+// negative border with counts). The snapshot is the caller's to mutate; it
+// does not track later maintenance.
+func (m *ItemsetMiner) Lattice() *Lattice {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.model.Lattice.Clone()
+}
 
 // FrequentItemsets lists the frequent itemsets with supports, in
 // deterministic order.
 func (m *ItemsetMiner) FrequentItemsets() []ItemsetSupport {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	l := m.model.Lattice
 	sets := l.FrequentSets()
 	out := make([]ItemsetSupport, len(sets))
@@ -319,11 +348,17 @@ func (m *ItemsetMiner) FrequentItemsets() []ItemsetSupport {
 }
 
 // T returns the identifier of the latest ingested block.
-func (m *ItemsetMiner) T() BlockID { return m.snap.T }
+func (m *ItemsetMiner) T() BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.snap.T
+}
 
 // ModelBlocks returns the identifiers of the blocks the model currently
 // covers (those the BSS selected, minus any deleted).
 func (m *ItemsetMiner) ModelBlocks() []BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]BlockID, len(m.model.Blocks))
 	copy(out, m.model.Blocks)
 	return out

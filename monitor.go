@@ -2,6 +2,7 @@ package demon
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/demon-mining/demon/internal/birch"
@@ -29,6 +30,11 @@ type MonitorConfig struct {
 	Resamples int
 	// Seed drives bootstrap resampling.
 	Seed int64
+	// Workers shards each FOCUS deviation computation (per-block model
+	// mining and region counting) across worker goroutines. Zero or negative
+	// selects GOMAXPROCS; 1 keeps the computation serial. Deviations are
+	// identical for every worker count.
+	Workers int
 }
 
 // MonitorReport describes one Monitor.AddBlock step — the per-block cost
@@ -57,6 +63,9 @@ type MonitorReport struct {
 // transactional database: the Section 4 pattern-detection algorithm over the
 // FOCUS frequent-itemset deviation.
 type Monitor struct {
+	// mu makes readers (Patterns, AllSequences, Similarity, T) safe
+	// concurrently with AddBlock.
+	mu   sync.RWMutex
 	det  *pattern.Detector[*itemset.TxBlock]
 	snap blockseq.Snapshot
 	next int
@@ -76,6 +85,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 		Mode:       mode,
 		Resamples:  cfg.Resamples,
 		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
 	}
 	var opts []pattern.Option[*itemset.TxBlock]
 	if cfg.Window > 0 {
@@ -91,6 +101,8 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 // AddBlock ingests the next block of transactions and updates the set of
 // compact sequences.
 func (m *Monitor) AddBlock(transactions [][]Item) (*MonitorReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	snap, id := m.snap.Append()
 	blk := itemset.NewTxBlock(id, m.next, transactions)
 	start := time.Now()
@@ -113,15 +125,25 @@ func (m *Monitor) AddBlock(transactions [][]Item) (*MonitorReport, error) {
 
 // Patterns returns the maximal compact sequences discovered so far, as
 // lists of block identifiers.
-func (m *Monitor) Patterns() [][]BlockID { return m.det.Maximal() }
+func (m *Monitor) Patterns() [][]BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.det.Maximal()
+}
 
 // AllSequences returns every maintained compact sequence (one per starting
 // block), including those subsumed by longer ones.
-func (m *Monitor) AllSequences() [][]BlockID { return m.det.Sequences() }
+func (m *Monitor) AllSequences() [][]BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.det.Sequences()
+}
 
 // Similarity returns the cached deviation between two previously added
 // blocks.
 func (m *Monitor) Similarity(a, b BlockID) (score, pValue float64, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	dev, ok := m.det.Similarity(a, b)
 	return dev.Score, dev.PValue, ok
 }
@@ -134,11 +156,17 @@ func CyclicPattern(seq []BlockID, period BlockID) []BlockID {
 }
 
 // T returns the identifier of the latest ingested block.
-func (m *Monitor) T() BlockID { return m.snap.T }
+func (m *Monitor) T() BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.snap.T
+}
 
 // ClusterMonitor is Monitor over point blocks, using the FOCUS cluster-model
 // deviation.
 type ClusterMonitor struct {
+	// mu makes readers (Patterns, T) safe concurrently with AddBlock.
+	mu   sync.RWMutex
 	det  *pattern.Detector[*birch.PointBlock]
 	snap blockseq.Snapshot
 }
@@ -151,12 +179,17 @@ type ClusterMonitorConfig struct {
 	Alpha float64
 	// Window optionally restricts detection to the most recent blocks.
 	Window int
+	// Workers shards each FOCUS deviation computation (the per-block BIRCH
+	// runs and region histograms) across worker goroutines. Zero or negative
+	// selects GOMAXPROCS; 1 keeps the computation serial. Deviations are
+	// identical for every worker count.
+	Workers int
 }
 
 // NewClusterMonitor creates a monitor over an empty database of point
 // blocks.
 func NewClusterMonitor(cfg ClusterMonitorConfig) (*ClusterMonitor, error) {
-	differ := focus.ClusterDiffer{K: cfg.K}
+	differ := focus.ClusterDiffer{K: cfg.K, Workers: cfg.Workers}
 	var opts []pattern.Option[*birch.PointBlock]
 	if cfg.Window > 0 {
 		opts = append(opts, pattern.WithWindow[*birch.PointBlock](cfg.Window))
@@ -170,6 +203,8 @@ func NewClusterMonitor(cfg ClusterMonitorConfig) (*ClusterMonitor, error) {
 
 // AddBlock ingests the next block of points.
 func (m *ClusterMonitor) AddBlock(points []Point) (*MonitorReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	snap, id := m.snap.Append()
 	blk := &birch.PointBlock{ID: id, Points: points}
 	start := time.Now()
@@ -190,7 +225,15 @@ func (m *ClusterMonitor) AddBlock(points []Point) (*MonitorReport, error) {
 }
 
 // Patterns returns the maximal compact sequences discovered so far.
-func (m *ClusterMonitor) Patterns() [][]BlockID { return m.det.Maximal() }
+func (m *ClusterMonitor) Patterns() [][]BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.det.Maximal()
+}
 
 // T returns the identifier of the latest ingested block.
-func (m *ClusterMonitor) T() BlockID { return m.snap.T }
+func (m *ClusterMonitor) T() BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.snap.T
+}

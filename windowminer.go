@@ -2,6 +2,7 @@ package demon
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/demon-mining/demon/internal/blockseq"
@@ -47,8 +48,12 @@ type ItemsetWindowMinerConfig struct {
 	// ECUTPlusBudget caps per-block pair materialization (see
 	// ItemsetMinerConfig).
 	ECUTPlusBudget int64
-	// Workers shards update-phase counting across goroutines (see
-	// ItemsetMinerConfig).
+	// Workers is the parallel-ingestion knob: AddBlock fans the w GEMM slot
+	// updates across this many worker goroutines (each slot running a serial
+	// BORDERS maintenance step) and TID-list materialization shards the same
+	// way. Zero or negative selects GOMAXPROCS; 1 keeps ingestion serial.
+	// The model collection and the stored bytes are identical for every
+	// worker count.
 	Workers int
 	// AutoCheckpointEvery checkpoints the model collection automatically
 	// after every N-th block, inside the same atomic transaction as the
@@ -75,6 +80,9 @@ type WindowReport struct {
 // recent window of w blocks with respect to a BSS — GEMM instantiated with
 // the BORDERS maintainer.
 type ItemsetWindowMiner struct {
+	// mu makes readers (Current, FrequentItemsets, Window, T,
+	// DistinctModels) safe concurrently with AddBlock and Checkpoint.
+	mu     sync.RWMutex
 	cfg    ItemsetWindowMinerConfig
 	io     *diskio.TxnStore // cfg.Store wrapped with atomic transactions
 	blocks *itemset.BlockStore
@@ -104,12 +112,15 @@ func NewItemsetWindowMiner(cfg ItemsetWindowMinerConfig) (*ItemsetWindowMiner, e
 	}
 	m.blocks = itemset.NewBlockStore(m.io)
 	m.tids = tidlist.NewStore(m.io)
-	counter, err := newCounter(cfg.Strategy, m.blocks, m.tids)
+	m.tids.SetWorkers(cfg.Workers)
+	// The window miner parallelizes ACROSS the w GEMM slots, so each slot's
+	// maintainer runs serially (workers = 1) — nesting both would
+	// oversubscribe without speeding anything up.
+	counter, err := newCounter(cfg.Strategy, m.blocks, m.tids, 1)
 	if err != nil {
 		return nil, err
 	}
-	counter = parallelize(counter, cfg.Workers)
-	ad := bordersAdapter{mt: &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: m.io}}
+	ad := bordersAdapter{mt: &borders.Maintainer{Store: m.blocks, Counter: counter, MinSupport: cfg.MinSupport, IO: m.io, Workers: 1}}
 
 	switch {
 	case cfg.WindowRelBSS.Len() > 0:
@@ -131,6 +142,7 @@ func NewItemsetWindowMiner(cfg ItemsetWindowMinerConfig) (*ItemsetWindowMiner, e
 	if err != nil {
 		return nil, err
 	}
+	m.g.SetWorkers(cfg.Workers)
 	return m, nil
 }
 
@@ -146,6 +158,8 @@ func (m *ItemsetWindowMiner) unusable() error {
 // ItemsetMiner.AddBlock); on error the miner becomes unusable and must be
 // reopened with ResumeItemsetWindowMiner.
 func (m *ItemsetWindowMiner) AddBlock(transactions [][]Item) (rep *WindowReport, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return nil, m.unusable()
 	}
@@ -195,13 +209,23 @@ func (m *ItemsetWindowMiner) AddBlock(transactions [][]Item) (rep *WindowReport,
 	return rep, nil
 }
 
-// Current returns the model on the current most recent window with respect
-// to the BSS.
-func (m *ItemsetWindowMiner) Current() *Lattice { return m.g.Current().Lattice }
+// Current returns a snapshot of the model on the current most recent window
+// with respect to the BSS. The snapshot is the caller's to mutate; it does
+// not track later maintenance.
+func (m *ItemsetWindowMiner) Current() *Lattice {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.current().Clone()
+}
+
+// current returns the live current-window lattice; callers hold mu.
+func (m *ItemsetWindowMiner) current() *Lattice { return m.g.Current().Lattice }
 
 // FrequentItemsets lists the current window's frequent itemsets.
 func (m *ItemsetWindowMiner) FrequentItemsets() []ItemsetSupport {
-	l := m.Current()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	l := m.current()
 	sets := l.FrequentSets()
 	out := make([]ItemsetSupport, len(sets))
 	for i, x := range sets {
@@ -212,11 +236,23 @@ func (m *ItemsetWindowMiner) FrequentItemsets() []ItemsetSupport {
 }
 
 // Window returns the current most recent window.
-func (m *ItemsetWindowMiner) Window() Window { return m.g.Window() }
+func (m *ItemsetWindowMiner) Window() Window {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.g.Window()
+}
 
 // T returns the identifier of the latest ingested block.
-func (m *ItemsetWindowMiner) T() BlockID { return m.snap.T }
+func (m *ItemsetWindowMiner) T() BlockID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.snap.T
+}
 
 // DistinctModels reports how many of the w maintained models are distinct
 // under the configured BSS.
-func (m *ItemsetWindowMiner) DistinctModels() int { return m.g.DistinctModels() }
+func (m *ItemsetWindowMiner) DistinctModels() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.g.DistinctModels()
+}
