@@ -2,12 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test race race-differential cover bench check faultsweep experiments examples fmt vet clean
+.PHONY: all build bin test race race-differential cover bench check faultsweep serve-smoke experiments examples fmt vet clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+# All six CLI binaries — demon-miner, demon-cluster, demon-patterns,
+# demon-datagen, demon-bench and the resident server demon-serve — into bin/.
+bin:
+	$(GO) build -o bin/ ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -38,6 +43,15 @@ check:
 FAULTSWEEP_FLAGS ?=
 faultsweep:
 	$(GO) test -race $(FAULTSWEEP_FLAGS) -run 'FaultSweep|CrashSweep' ./...
+
+# Smoke-test the resident server: first the kill-during-ingest e2e —
+# stream into two namespaces, SIGTERM mid-stream, restart, digest-compare
+# against an uninterrupted run — under the race detector, then the real
+# binary answering /healthz and /metricsz and drain-exiting on SIGTERM
+# (see scripts/serve-smoke.sh).
+serve-smoke: bin
+	$(GO) test -race -count=1 -run TestE2EDrainRestartDigest ./internal/serve/
+	./scripts/serve-smoke.sh
 
 # One testing.B benchmark per paper table/figure (see bench_test.go).
 bench:

@@ -28,6 +28,7 @@ import (
 
 	"github.com/demon-mining/demon/internal/bench"
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/version"
 )
 
 func main() {
@@ -38,7 +39,10 @@ func main() {
 	jsonOut := flag.String("json", "", "write a JSON artifact of all experiment rows and per-experiment metrics to this file")
 	metricsOut := flag.String("metrics-out", "", "write the cumulative metrics-registry snapshot (JSON) to this file on exit")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+
+	version.PrintAndExitIf(*showVersion, "demon-bench", os.Exit, os.Stdout)
 
 	selected := map[string]bool{}
 	if *exp == "all" {

@@ -12,16 +12,24 @@
 // checkpoint and skips the block files already ingested, and -scrub verifies
 // every record's checksum first (usable alone, without block files). The
 // window miner (-window > 0) is in-memory only and rejects these flags.
+//
+// SIGTERM/SIGINT interrupt the run cleanly: the in-flight block finishes its
+// atomic store transaction, a checkpoint is taken (with -store), and the
+// next -resume continues exactly where the signal landed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	demon "github.com/demon-mining/demon"
 	"github.com/demon-mining/demon/internal/obs"
 	"github.com/demon-mining/demon/internal/textio"
+	"github.com/demon-mining/demon/internal/version"
 )
 
 func main() {
@@ -34,7 +42,10 @@ func main() {
 	resume := flag.Bool("resume", false, "restore the last checkpoint from -store and skip already-ingested block files")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint automatically every N blocks (requires -store)")
 	scrub := flag.Bool("scrub", false, "verify every record checksum in -store before mining, quarantining corrupt ones")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+
+	version.PrintAndExitIf(*showVersion, "demon-cluster", os.Exit, os.Stdout)
 
 	if flag.NArg() == 0 && !(*scrub && *storeDir != "") {
 		fmt.Fprintln(os.Stderr, "demon-cluster: no block files given")
@@ -49,7 +60,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*k, *window, *workers, *storeDir, *resume, *ckptEvery, *scrub, flag.Args()); err != nil {
+	// On SIGTERM/SIGINT the in-flight block finishes its atomic store
+	// transaction, a checkpoint is taken, and the run exits cleanly so that
+	// -resume picks up exactly where the signal landed.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, *k, *window, *workers, *storeDir, *resume, *ckptEvery, *scrub, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-cluster:", err)
 		os.Exit(1)
 	}
@@ -61,7 +77,7 @@ func main() {
 	}
 }
 
-func run(k, window, workers int, storeDir string, resume bool, ckptEvery int, scrub bool, files []string) error {
+func run(ctx context.Context, k, window, workers int, storeDir string, resume bool, ckptEvery int, scrub bool, files []string) error {
 	var addBlock func(pts []demon.Point) error
 	var clusters func() ([]demon.Cluster, error)
 	var checkpoint func() error
@@ -143,7 +159,14 @@ func run(k, window, workers int, storeDir string, resume bool, ckptEvery int, sc
 		files = files[done:]
 	}
 
+	// The context is checked only between blocks: a signal mid-block lets
+	// the block's atomic store transaction finish first.
+	interrupted := false
 	for _, path := range files {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		pts, err := textio.ReadPointsFile(path)
 		if err != nil {
 			return err
@@ -158,6 +181,14 @@ func run(k, window, workers int, storeDir string, resume bool, ckptEvery int, sc
 			return err
 		}
 		fmt.Printf("checkpointed at block %d\n", ingested())
+	}
+	if interrupted {
+		if storeDir != "" {
+			fmt.Printf("interrupted after block %d; rerun with -resume to continue\n", ingested())
+		} else {
+			fmt.Printf("interrupted after block %d (no -store: progress not saved)\n", ingested())
+		}
+		return nil
 	}
 
 	cs, err := clusters()

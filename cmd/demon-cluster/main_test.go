@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -33,24 +34,24 @@ func writePointBlocks(t *testing.T) []string {
 
 func TestRunUnrestricted(t *testing.T) {
 	paths := writePointBlocks(t)
-	if err := run(2, 0, 2, "", false, 0, false, paths); err != nil {
+	if err := run(context.Background(), 2, 0, 2, "", false, 0, false, paths); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWindowed(t *testing.T) {
 	paths := writePointBlocks(t)
-	if err := run(2, 1, 2, "", false, 0, false, paths); err != nil {
+	if err := run(context.Background(), 2, 1, 2, "", false, 0, false, paths); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	paths := writePointBlocks(t)
-	if err := run(0, 0, 2, "", false, 0, false, paths); err == nil {
+	if err := run(context.Background(), 0, 0, 2, "", false, 0, false, paths); err == nil {
 		t.Error("accepted k = 0")
 	}
-	if err := run(2, 0, 2, "", false, 0, false, []string{"/nonexistent"}); err == nil {
+	if err := run(context.Background(), 2, 0, 2, "", false, 0, false, []string{"/nonexistent"}); err == nil {
 		t.Error("accepted missing file")
 	}
 }
@@ -59,24 +60,48 @@ func TestRunDurableStoreResume(t *testing.T) {
 	paths := writePointBlocks(t)
 	dir := t.TempDir()
 
-	if err := run(2, 0, 2, dir, false, 1, false, paths[:1]); err != nil {
+	if err := run(context.Background(), 2, 0, 2, dir, false, 1, false, paths[:1]); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, 0, 2, dir, true, 1, false, paths); err != nil {
+	if err := run(context.Background(), 2, 0, 2, dir, true, 1, false, paths); err != nil {
 		t.Fatal(err)
 	}
 	// Scrub-only invocation.
-	if err := run(2, 0, 2, dir, false, 0, true, nil); err != nil {
+	if err := run(context.Background(), 2, 0, 2, dir, false, 0, true, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDurabilityFlagErrors(t *testing.T) {
 	paths := writePointBlocks(t)
-	if err := run(2, 1, 2, t.TempDir(), false, 0, false, paths); err == nil {
+	if err := run(context.Background(), 2, 1, 2, t.TempDir(), false, 0, false, paths); err == nil {
 		t.Error("window miner accepted -store")
 	}
-	if err := run(2, 0, 2, "", true, 0, false, paths); err == nil {
+	if err := run(context.Background(), 2, 0, 2, "", true, 0, false, paths); err == nil {
 		t.Error("accepted -resume without -store")
+	}
+}
+
+func TestRunInterruptCheckpointsAndResumes(t *testing.T) {
+	paths := writePointBlocks(t)
+	dir := t.TempDir()
+
+	// A cancelled context (the SIGTERM path) stops intake before the first
+	// block but still checkpoints cleanly.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(cancelled, 2, 0, 2, dir, false, 0, false, paths); err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+
+	// The interrupted store resumes and ingests everything the signal
+	// prevented.
+	if err := run(context.Background(), 2, 0, 2, dir, true, 0, false, paths); err != nil {
+		t.Fatalf("resume after interrupt: %v", err)
+	}
+
+	// Without a store the interrupt is still a clean exit.
+	if err := run(cancelled, 2, 0, 2, "", false, 0, false, paths); err != nil {
+		t.Fatalf("interrupted in-memory run: %v", err)
 	}
 }

@@ -1,31 +1,42 @@
 // Command demon-datagen generates the synthetic datasets of the DEMON
-// experiments as plain-text block files.
+// experiments as plain-text block files or as an NDJSON block stream.
 //
 // Usage:
 //
 //	demon-datagen -kind tx -spec 2M.20L.1I.4pats.4plen -blocks 4 -blocksize 50000 -dir data/
 //	demon-datagen -kind points -spec 1M.50c.5d -blocks 2 -blocksize 100000 -dir data/
 //	demon-datagen -kind proxy -granularity 6 -dir data/
+//	demon-datagen -kind tx -format ndjson -blocks 4 -dir - | curl -X POST --data-binary @- \
+//	     localhost:8080/v1/namespaces/retail/blocks
 //
-// Transaction blocks are written as block-NNN.txt with one transaction per
-// line (space-separated item ids). Point blocks are written as block-NNN.txt
+// In the default text format transaction blocks are written as block-NNN.txt
+// with one transaction per line (space-separated item ids) and point blocks
 // with one point per line (space-separated coordinates). Proxy blocks are
 // the simulated DEC trace segmented at the given granularity.
+//
+// With -format ndjson every block becomes one JSON object per line —
+// {"txs":[[...]]} or {"points":[[...]]} — the wire format demon-serve
+// ingests. Pass -dir - to stream the blocks to stdout instead of writing
+// blocks.ndjson into the output directory.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 
+	"github.com/demon-mining/demon/internal/blockio"
 	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/cf"
 	"github.com/demon-mining/demon/internal/itemset"
 	"github.com/demon-mining/demon/internal/pointgen"
 	"github.com/demon-mining/demon/internal/proxysim"
 	"github.com/demon-mining/demon/internal/quest"
+	"github.com/demon-mining/demon/internal/version"
 )
 
 func main() {
@@ -36,19 +47,35 @@ func main() {
 	granularity := flag.Int("granularity", 6, "block granularity in hours (proxy)")
 	rate := flag.Int("rate", 400, "base requests per hour (proxy)")
 	seed := flag.Int64("seed", 1, "random seed")
-	dir := flag.String("dir", "data", "output directory")
+	dir := flag.String("dir", "data", "output directory, or - for NDJSON on stdout")
+	format := flag.String("format", "text", "output format: text (one file per block) or ndjson (one JSON block per line)")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
-	if err := run(*kind, *spec, *blocks, *blockSize, *granularity, *rate, *seed, *dir); err != nil {
+	version.PrintAndExitIf(*showVersion, "demon-datagen", os.Exit, os.Stdout)
+
+	if err := run(*kind, *spec, *format, *blocks, *blockSize, *granularity, *rate, *seed, *dir, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, spec string, blocks, blockSize, granularity, rate int, seed int64, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func run(kind, spec, format string, blocks, blockSize, granularity, rate int, seed int64, dir string, stdout io.Writer) error {
+	switch format {
+	case "text", "ndjson":
+	default:
+		return fmt.Errorf("unknown format %q (want text or ndjson)", format)
+	}
+	if dir == "-" && format != "ndjson" {
+		return fmt.Errorf("-dir - (stdout) requires -format ndjson")
+	}
+
+	// out collects the generated blocks; the sink depends on format/dir.
+	out, status, err := newBlockSink(format, dir, stdout)
+	if err != nil {
 		return err
 	}
+
 	switch kind {
 	case "tx":
 		cfg, err := quest.ParseSpec(spec)
@@ -61,12 +88,14 @@ func run(kind, spec string, blocks, blockSize, granularity, rate int, seed int64
 			return err
 		}
 		for i := 1; i <= blocks; i++ {
-			blk := gen.Block(blockseq.ID(i), blockSize)
-			if err := writeTxBlock(dir, i, blk); err != nil {
+			if err := out.txBlock(i, gen.Block(blockseq.ID(i), blockSize)); err != nil {
 				return err
 			}
 		}
-		fmt.Printf("wrote %d transaction blocks of %d to %s\n", blocks, blockSize, dir)
+		if err := out.close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(status, "wrote %d transaction blocks of %d to %s\n", blocks, blockSize, dir)
 	case "points":
 		cfg, err := pointgen.ParseSpec(spec)
 		if err != nil {
@@ -79,31 +108,14 @@ func run(kind, spec string, blocks, blockSize, granularity, rate int, seed int64
 			return err
 		}
 		for i := 1; i <= blocks; i++ {
-			blk := gen.Block(blockseq.ID(i), blockSize)
-			path := filepath.Join(dir, fmt.Sprintf("block-%03d.txt", i))
-			f, err := os.Create(path)
-			if err != nil {
-				return err
-			}
-			w := bufio.NewWriter(f)
-			for _, p := range blk.Points {
-				for d, x := range p {
-					if d > 0 {
-						fmt.Fprint(w, " ")
-					}
-					fmt.Fprint(w, strconv.FormatFloat(x, 'g', -1, 64))
-				}
-				fmt.Fprintln(w)
-			}
-			if err := w.Flush(); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := out.pointBlock(i, gen.Block(blockseq.ID(i), blockSize).Points); err != nil {
 				return err
 			}
 		}
-		fmt.Printf("wrote %d point blocks of %d to %s\n", blocks, blockSize, dir)
+		if err := out.close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(status, "wrote %d point blocks of %d to %s\n", blocks, blockSize, dir)
 	case "proxy":
 		trace := proxysim.Generate(proxysim.Config{Seed: seed, RequestsPerHour: rate})
 		txBlocks, infos, err := trace.Segment(granularity)
@@ -111,31 +123,83 @@ func run(kind, spec string, blocks, blockSize, granularity, rate int, seed int64
 			return err
 		}
 		for i, blk := range txBlocks {
-			if err := writeTxBlock(dir, i+1, blk); err != nil {
+			if err := out.txBlock(i+1, blk); err != nil {
 				return err
 			}
 		}
-		meta, err := os.Create(filepath.Join(dir, "blocks.tsv"))
-		if err != nil {
+		if err := out.close(); err != nil {
 			return err
 		}
-		w := bufio.NewWriter(meta)
-		fmt.Fprintln(w, "block\tperiod\tkind")
-		for i, info := range infos {
-			fmt.Fprintf(w, "%d\t%s\t%s\n", i+1, info.Label(), info.Kind)
+		if dir != "-" {
+			if err := writeProxyMeta(dir, infos); err != nil {
+				return err
+			}
 		}
-		if err := w.Flush(); err != nil {
-			meta.Close()
-			return err
-		}
-		if err := meta.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %d proxy blocks (%dh granularity) to %s\n", len(txBlocks), granularity, dir)
+		fmt.Fprintf(status, "wrote %d proxy blocks (%dh granularity) to %s\n", len(txBlocks), granularity, dir)
 	default:
 		return fmt.Errorf("unknown kind %q (want tx, points, or proxy)", kind)
 	}
 	return nil
+}
+
+// blockSink writes generated blocks in one of the output formats.
+type blockSink struct {
+	txBlock    func(n int, blk *itemset.TxBlock) error
+	pointBlock func(n int, pts []cf.Point) error
+	close      func() error
+}
+
+// newBlockSink also returns the writer for the human status line: stdout
+// normally, stderr when the NDJSON stream itself occupies stdout.
+func newBlockSink(format, dir string, stdout io.Writer) (*blockSink, io.Writer, error) {
+	if format == "text" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		return &blockSink{
+			txBlock:    func(n int, blk *itemset.TxBlock) error { return writeTxBlock(dir, n, blk) },
+			pointBlock: func(n int, pts []cf.Point) error { return writePointBlock(dir, n, pts) },
+			close:      func() error { return nil },
+		}, stdout, nil
+	}
+
+	var w *bufio.Writer
+	status := stdout
+	closeFile := func() error { return nil }
+	if dir == "-" {
+		w = bufio.NewWriter(stdout)
+		status = os.Stderr
+	} else {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Create(filepath.Join(dir, "blocks.ndjson"))
+		if err != nil {
+			return nil, nil, err
+		}
+		w = bufio.NewWriter(f)
+		closeFile = f.Close
+	}
+	enc := blockio.NewEncoder(w)
+	return &blockSink{
+		txBlock: func(_ int, blk *itemset.TxBlock) error {
+			rows := make([][]itemset.Item, len(blk.Txs))
+			for i, tx := range blk.Txs {
+				rows[i] = tx.Items
+			}
+			return enc.Encode(blockio.TxBlock(rows))
+		},
+		pointBlock: func(_ int, pts []cf.Point) error {
+			return enc.Encode(blockio.PointBlock(pts))
+		},
+		close: func() error {
+			if err := w.Flush(); err != nil {
+				closeFile()
+				return err
+			}
+			return closeFile()
+		},
+	}, status, nil
 }
 
 func writeTxBlock(dir string, n int, blk *itemset.TxBlock) error {
@@ -159,4 +223,44 @@ func writeTxBlock(dir string, n int, blk *itemset.TxBlock) error {
 		return err
 	}
 	return f.Close()
+}
+
+func writePointBlock(dir string, n int, pts []cf.Point) error {
+	path := filepath.Join(dir, fmt.Sprintf("block-%03d.txt", n))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, p := range pts {
+		for d, x := range p {
+			if d > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprint(w, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeProxyMeta(dir string, infos []proxysim.BlockInfo) error {
+	meta, err := os.Create(filepath.Join(dir, "blocks.tsv"))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(meta)
+	fmt.Fprintln(w, "block\tperiod\tkind")
+	for i, info := range infos {
+		fmt.Fprintf(w, "%d\t%s\t%s\n", i+1, info.Label(), info.Kind)
+	}
+	if err := w.Flush(); err != nil {
+		meta.Close()
+		return err
+	}
+	return meta.Close()
 }

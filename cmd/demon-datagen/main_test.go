@@ -1,15 +1,18 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/demon-mining/demon/internal/blockio"
 )
 
 func TestRunTx(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("tx", "2M.20L.1I.4pats.4plen", 2, 100, 0, 0, 1, dir); err != nil {
+	if err := run("tx", "2M.20L.1I.4pats.4plen", "text", 2, 100, 0, 0, 1, dir, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"block-001.txt", "block-002.txt"} {
@@ -26,7 +29,7 @@ func TestRunTx(t *testing.T) {
 
 func TestRunPoints(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("points", "1M.3c.2d", 1, 50, 0, 0, 1, dir); err != nil {
+	if err := run("points", "1M.3c.2d", "text", 1, 50, 0, 0, 1, dir, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "block-001.txt"))
@@ -44,7 +47,7 @@ func TestRunPoints(t *testing.T) {
 
 func TestRunProxy(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("proxy", "", 0, 0, 24, 20, 1, dir); err != nil {
+	if err := run("proxy", "", "text", 0, 0, 24, 20, 1, dir, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -66,16 +69,112 @@ func TestRunProxy(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("nope", "", 0, 0, 0, 0, 1, dir); err == nil {
+	if err := run("nope", "", "text", 0, 0, 0, 0, 1, dir, os.Stdout); err == nil {
 		t.Error("accepted unknown kind")
 	}
-	if err := run("tx", "garbage", 1, 10, 0, 0, 1, dir); err == nil {
+	if err := run("tx", "garbage", "text", 1, 10, 0, 0, 1, dir, os.Stdout); err == nil {
 		t.Error("accepted bad tx spec")
 	}
-	if err := run("points", "garbage", 1, 10, 0, 0, 1, dir); err == nil {
+	if err := run("points", "garbage", "text", 1, 10, 0, 0, 1, dir, os.Stdout); err == nil {
 		t.Error("accepted bad point spec")
 	}
-	if err := run("proxy", "", 0, 0, 0, 10, 1, dir); err == nil {
+	if err := run("proxy", "", "text", 0, 0, 0, 10, 1, dir, os.Stdout); err == nil {
 		t.Error("accepted zero granularity")
+	}
+}
+
+func TestRunNDJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("tx", "2M.20L.1I.4pats.4plen", "ndjson", 3, 40, 0, 0, 1, dir, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "blocks.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	blocks, err := blockio.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("%d blocks, want 3", len(blocks))
+	}
+	for i, b := range blocks {
+		if b.Kind() != "tx" {
+			t.Fatalf("block %d kind %q, want tx", i, b.Kind())
+		}
+		if len(b.Txs) != 40 {
+			t.Fatalf("block %d has %d txs, want 40", i, len(b.Txs))
+		}
+	}
+}
+
+func TestRunNDJSONStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run("points", "1M.3c.2d", "ndjson", 2, 25, 0, 0, 1, "-", &out); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := blockio.ReadAll(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("%d blocks, want 2", len(blocks))
+	}
+	for i, b := range blocks {
+		if b.Kind() != "points" {
+			t.Fatalf("block %d kind %q, want points", i, b.Kind())
+		}
+		if len(b.Points) != 25 || len(b.Points[0]) != 2 {
+			t.Fatalf("block %d shape %dx%d, want 25x2", i, len(b.Points), len(b.Points[0]))
+		}
+	}
+}
+
+func TestRunNDJSONMatchesText(t *testing.T) {
+	// The NDJSON stream must carry exactly the blocks the text format writes:
+	// same generator, same seed, same transactions.
+	textDir, jsonDir := t.TempDir(), t.TempDir()
+	if err := run("tx", "2M.10L.1I.4pats.3plen", "text", 1, 30, 0, 0, 9, textDir, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("tx", "2M.10L.1I.4pats.3plen", "ndjson", 1, 30, 0, 0, 9, jsonDir, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(filepath.Join(textDir, "block-001.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(jsonDir, "blocks.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	blocks, err := blockio.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON strings.Builder
+	for _, tx := range blocks[0].Txs {
+		for i, it := range tx {
+			if i > 0 {
+				fromJSON.WriteString(" ")
+			}
+			fmt.Fprint(&fromJSON, it)
+		}
+		fromJSON.WriteString("\n")
+	}
+	if fromJSON.String() != string(text) {
+		t.Fatal("ndjson blocks diverge from text blocks for the same seed")
+	}
+}
+
+func TestRunFormatErrors(t *testing.T) {
+	if err := run("tx", "2M.10L.1I.4pats.3plen", "xml", 1, 10, 0, 0, 1, t.TempDir(), os.Stdout); err == nil {
+		t.Error("accepted unknown format")
+	}
+	if err := run("tx", "2M.10L.1I.4pats.3plen", "text", 1, 10, 0, 0, 1, "-", os.Stdout); err == nil {
+		t.Error("accepted -dir - without ndjson format")
 	}
 }

@@ -26,17 +26,25 @@
 //
 // -scrub verifies every record's checksum first, quarantining corrupt ones,
 // and may be used alone (no block files) to audit a store.
+//
+// SIGTERM/SIGINT interrupt the run cleanly: the in-flight block finishes its
+// atomic store transaction, a checkpoint is taken (with -store), and the
+// next -resume continues exactly where the signal landed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	demon "github.com/demon-mining/demon"
 	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/obs"
 	"github.com/demon-mining/demon/internal/textio"
+	"github.com/demon-mining/demon/internal/version"
 )
 
 func main() {
@@ -55,7 +63,10 @@ func main() {
 	resume := flag.Bool("resume", false, "restore the last checkpoint from -store and skip already-ingested block files")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint automatically every N blocks (requires -store)")
 	scrub := flag.Bool("scrub", false, "verify every record checksum in -store before mining, quarantining corrupt ones")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+
+	version.PrintAndExitIf(*showVersion, "demon-miner", os.Exit, os.Stdout)
 
 	dur := durability{dir: *storeDir, resume: *resume, every: *ckptEvery, scrub: *scrub}
 	if flag.NArg() == 0 && !(*scrub && *storeDir != "") {
@@ -71,7 +82,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*minsup, *strategy, *window, *bss, *every, *offset, *workers, *top, *minconf, dur, flag.Args()); err != nil {
+	// On SIGTERM/SIGINT the in-flight block finishes its atomic store
+	// transaction, a checkpoint is taken, and the run exits cleanly so that
+	// -resume picks up exactly where the signal landed.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, *minsup, *strategy, *window, *bss, *every, *offset, *workers, *top, *minconf, dur, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-miner:", err)
 		os.Exit(1)
 	}
@@ -139,7 +155,7 @@ func (d durability) openStore() (demon.Store, error) {
 	return store, nil
 }
 
-func run(minsup float64, strategyName string, window int, bssStr string, every, offset, workers, top int, minconf float64, dur durability, files []string) error {
+func run(ctx context.Context, minsup float64, strategyName string, window int, bssStr string, every, offset, workers, top int, minconf float64, dur durability, files []string) error {
 	strategy, err := parseStrategy(strategyName)
 	if err != nil {
 		return err
@@ -256,7 +272,14 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 		files = files[done:]
 	}
 
+	// The context is checked only between blocks: a signal mid-block lets
+	// the block's atomic store transaction finish first.
+	interrupted := false
 	for _, path := range files {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		rows, err := textio.ReadTransactionsFile(path)
 		if err != nil {
 			return err
@@ -271,6 +294,14 @@ func run(minsup float64, strategyName string, window int, bssStr string, every, 
 			return err
 		}
 		fmt.Printf("checkpointed at block %d\n", ingested())
+	}
+	if interrupted {
+		if dur.dir != "" {
+			fmt.Printf("interrupted after block %d; rerun with -resume to continue\n", ingested())
+		} else {
+			fmt.Printf("interrupted after block %d (no -store: progress not saved)\n", ingested())
+		}
+		return nil
 	}
 
 	fi := frequents()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -28,7 +29,7 @@ func writeBlocks(t *testing.T) []string {
 func TestRunUnrestrictedWindow(t *testing.T) {
 	paths := writeBlocks(t)
 	for _, strategy := range []string{"ptscan", "hashtree", "ecut", "ecutplus"} {
-		if err := run(0.2, strategy, 0, "", 0, 1, 2, 5, 0, durability{}, paths); err != nil {
+		if err := run(context.Background(), 0.2, strategy, 0, "", 0, 1, 2, 5, 0, durability{}, paths); err != nil {
 			t.Fatalf("strategy %s: %v", strategy, err)
 		}
 	}
@@ -36,37 +37,37 @@ func TestRunUnrestrictedWindow(t *testing.T) {
 
 func TestRunMostRecentWindow(t *testing.T) {
 	paths := writeBlocks(t)
-	if err := run(0.2, "ecut", 2, "", 0, 1, 2, 5, 0.5, durability{}, paths); err != nil {
+	if err := run(context.Background(), 0.2, "ecut", 2, "", 0, 1, 2, 5, 0.5, durability{}, paths); err != nil {
 		t.Fatal(err)
 	}
 	// Window-relative BSS.
-	if err := run(0.2, "ptscan", 2, "10", 0, 1, 2, 5, 0, durability{}, paths); err != nil {
+	if err := run(context.Background(), 0.2, "ptscan", 2, "10", 0, 1, 2, 5, 0, durability{}, paths); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPeriodicBSS(t *testing.T) {
 	paths := writeBlocks(t)
-	if err := run(0.2, "ptscan", 0, "", 2, 1, 2, 5, 0.8, durability{}, paths); err != nil {
+	if err := run(context.Background(), 0.2, "ptscan", 0, "", 2, 1, 2, 5, 0.8, durability{}, paths); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	paths := writeBlocks(t)
-	if err := run(0.2, "bogus", 0, "", 0, 1, 2, 5, 0, durability{}, paths); err == nil {
+	if err := run(context.Background(), 0.2, "bogus", 0, "", 0, 1, 2, 5, 0, durability{}, paths); err == nil {
 		t.Error("accepted unknown strategy")
 	}
-	if err := run(0.2, "ptscan", 0, "101", 0, 1, 2, 5, 0, durability{}, paths); err == nil {
+	if err := run(context.Background(), 0.2, "ptscan", 0, "101", 0, 1, 2, 5, 0, durability{}, paths); err == nil {
 		t.Error("accepted -bss without -window")
 	}
-	if err := run(0.2, "ptscan", 3, "10", 0, 1, 2, 5, 0, durability{}, paths); err == nil {
+	if err := run(context.Background(), 0.2, "ptscan", 3, "10", 0, 1, 2, 5, 0, durability{}, paths); err == nil {
 		t.Error("accepted mismatched -bss length")
 	}
-	if err := run(0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{}, []string{"/nonexistent/file"}); err == nil {
+	if err := run(context.Background(), 0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{}, []string{"/nonexistent/file"}); err == nil {
 		t.Error("accepted missing block file")
 	}
-	if err := run(2.0, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{}, paths); err == nil {
+	if err := run(context.Background(), 2.0, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{}, paths); err == nil {
 		t.Error("accepted κ = 2")
 	}
 }
@@ -77,29 +78,55 @@ func TestRunDurableStoreResume(t *testing.T) {
 	dur := durability{dir: dir, every: 1}
 
 	// First run ingests two files and checkpoints.
-	if err := run(0.2, "ecut", 0, "", 0, 1, 2, 5, 0, dur, paths[:2]); err != nil {
+	if err := run(context.Background(), 0.2, "ecut", 0, "", 0, 1, 2, 5, 0, dur, paths[:2]); err != nil {
 		t.Fatal(err)
 	}
 	// Resume ingests only the third; passing all paths exercises the skip.
 	dur.resume = true
-	if err := run(0.2, "ecut", 0, "", 0, 1, 2, 5, 0, dur, paths); err != nil {
+	if err := run(context.Background(), 0.2, "ecut", 0, "", 0, 1, 2, 5, 0, dur, paths); err != nil {
 		t.Fatal(err)
 	}
 	// Scrub-only invocation over the surviving store.
-	if err := run(0.2, "ecut", 0, "", 0, 1, 2, 5, 0, durability{dir: dir, scrub: true}, nil); err != nil {
+	if err := run(context.Background(), 0.2, "ecut", 0, "", 0, 1, 2, 5, 0, durability{dir: dir, scrub: true}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDurabilityFlagErrors(t *testing.T) {
 	paths := writeBlocks(t)
-	if err := run(0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{resume: true}, paths); err == nil {
+	if err := run(context.Background(), 0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{resume: true}, paths); err == nil {
 		t.Error("accepted -resume without -store")
 	}
-	if err := run(0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{every: 2}, paths); err == nil {
+	if err := run(context.Background(), 0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{every: 2}, paths); err == nil {
 		t.Error("accepted -checkpoint-every without -store")
 	}
-	if err := run(0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{scrub: true}, paths); err == nil {
+	if err := run(context.Background(), 0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{scrub: true}, paths); err == nil {
 		t.Error("accepted -scrub without -store")
+	}
+}
+
+func TestRunInterruptCheckpointsAndResumes(t *testing.T) {
+	paths := writeBlocks(t)
+	dir := t.TempDir()
+	dur := durability{dir: dir}
+
+	// A cancelled context (the SIGTERM path) stops intake before the first
+	// block but still checkpoints cleanly.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(cancelled, 0.2, "ecut", 0, "", 0, 1, 2, 5, 0, dur, paths); err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+
+	// The interrupted store resumes and ingests everything the signal
+	// prevented.
+	dur.resume = true
+	if err := run(context.Background(), 0.2, "ecut", 0, "", 0, 1, 2, 5, 0, dur, paths); err != nil {
+		t.Fatalf("resume after interrupt: %v", err)
+	}
+
+	// Without a store the interrupt is still a clean exit.
+	if err := run(cancelled, 0.2, "ecut", 0, "", 0, 1, 2, 5, 0, durability{}, paths); err != nil {
+		t.Fatalf("interrupted in-memory run: %v", err)
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	demon "github.com/demon-mining/demon"
 	"github.com/demon-mining/demon/internal/textio"
+	"github.com/demon-mining/demon/internal/version"
 )
 
 func main() {
@@ -31,7 +32,10 @@ func main() {
 	window := flag.Int("window", 0, "restrict detection to the most recent blocks (0 = unrestricted)")
 	cycle := flag.Int("cycle", 0, "report the longest cyclic sub-pattern of this period")
 	labelsPath := flag.String("labels", "", "optional TSV (block<TAB>label...) naming blocks in the output")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+
+	version.PrintAndExitIf(*showVersion, "demon-patterns", os.Exit, os.Stdout)
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "demon-patterns: no block files given")

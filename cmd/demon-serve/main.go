@@ -1,0 +1,113 @@
+// Command demon-serve is the resident mining server: miners and monitors
+// stay in memory between blocks, absorbing streamed NDJSON blocks per
+// namespace and serving model queries while they do — DEMON's monitoring of
+// evolving data as a long-running service instead of a batch CLI.
+//
+// Usage:
+//
+//	demon-serve -root state/ -addr :8080
+//	demon-serve -root state/ -addr :8080 -queue-depth 128 -drain-timeout 1m
+//
+// Each namespace is one model/config (frequent itemsets, a sliding window,
+// clusters, or a pattern monitor) over its own crash-safe store directory
+// under -root. Namespaces are created over the API and resumed automatically
+// on restart:
+//
+//	curl -X POST localhost:8080/v1/namespaces \
+//	     -d '{"name":"retail","kind":"itemset","min_support":0.01,"strategy":"ecut"}'
+//	demon-datagen -kind tx -format ndjson -dir - |
+//	     curl -X POST --data-binary @- localhost:8080/v1/namespaces/retail/blocks
+//	curl 'localhost:8080/v1/namespaces/retail/itemsets?top=10'
+//
+// Ingestion is backpressured: when a namespace's bounded queue is full the
+// server answers 429 with a Retry-After hint and the count of blocks it did
+// accept, and the client resumes the stream from there.
+//
+// On SIGTERM/SIGINT the server stops intake (503), drains every queue —
+// each in-flight block finishing its atomic store transaction — checkpoints
+// every model, and exits; a restart resumes exactly where the drain left
+// off. A hard kill loses nothing either: the per-block transactions recover
+// on the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/serve"
+	"github.com/demon-mining/demon/internal/version"
+)
+
+func main() {
+	root := flag.String("root", "demon-serve-state", "directory holding one store per namespace")
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "default per-namespace ingest queue bound")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown may spend draining queues and checkpointing")
+	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
+	flag.Parse()
+
+	version.PrintAndExitIf(*showVersion, "demon-serve", os.Exit, os.Stdout)
+	obs.Enable()
+
+	if err := run(*root, *addr, *queueDepth, *drainTimeout, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(root, addr string, queueDepth int, drainTimeout time.Duration, metricsOut string) error {
+	srv, err := serve.New(serve.Config{Root: root, QueueDepth: queueDepth})
+	if err != nil {
+		return err
+	}
+	for _, n := range srv.Namespaces() {
+		fmt.Printf("demon-serve: resumed namespace %s (%s) at block %d\n", n.Spec().Name, n.Spec().Kind, n.T())
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Printf("demon-serve: listening on %s (root %s)\n", ln.Addr(), root)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately; recovery handles the rest
+
+	fmt.Println("demon-serve: draining (new intake rejected)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	for _, n := range srv.Namespaces() {
+		fmt.Printf("demon-serve: namespace %s checkpointed at block %d\n", n.Spec().Name, n.T())
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if metricsOut != "" {
+		if err := obs.Dump(metricsOut, obs.Default()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

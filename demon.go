@@ -48,7 +48,17 @@ import (
 	"github.com/demon-mining/demon/internal/cf"
 	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/version"
 )
+
+// VersionInfo is the build identity of the running binary: module version,
+// VCS revision, and toolchain. Every CLI prints it under -version and
+// demon-serve exposes it at /versionz.
+type VersionInfo = version.Info
+
+// Version reports the build identity of the running binary, read from the
+// Go toolchain's embedded build info.
+func Version() VersionInfo { return version.Get() }
 
 // Item is a literal from the item universe of a transactional database.
 type Item = itemset.Item

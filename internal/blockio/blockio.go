@@ -1,0 +1,177 @@
+// Package blockio is the NDJSON block-stream wire format shared by
+// demon-datagen and demon-serve: one JSON object per line, one block per
+// object. A transaction block is {"txs": [[1,2,3],[2,4]]}; a point block is
+// {"points": [[0.1,0.2],[1.2,0.3]]}. Blocks arrive in ingestion order, so a
+// stream is exactly the systematically evolving database of the paper — a
+// generator can pipe blocks straight into a resident server.
+package blockio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/demon-mining/demon/internal/cf"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// Block is one block of a stream: exactly one of Txs or Points is set.
+type Block struct {
+	// Txs is a transaction block: one item-id list per transaction.
+	Txs [][]int32 `json:"txs,omitempty"`
+	// Points is a point block: one coordinate list per point.
+	Points [][]float64 `json:"points,omitempty"`
+}
+
+// Kind names the block's payload: "tx", "points", or "empty".
+func (b Block) Kind() string {
+	switch {
+	case b.Txs != nil:
+		return "tx"
+	case b.Points != nil:
+		return "points"
+	default:
+		return "empty"
+	}
+}
+
+// Validate rejects blocks that set both payloads or neither. An empty
+// payload of the right kind (zero transactions) is valid — evolving
+// databases do have quiet periods.
+func (b Block) Validate() error {
+	if b.Txs != nil && b.Points != nil {
+		return fmt.Errorf("blockio: block sets both txs and points")
+	}
+	if b.Txs == nil && b.Points == nil {
+		return fmt.Errorf("blockio: block sets neither txs nor points")
+	}
+	return nil
+}
+
+// TxBlock wraps transaction rows as a Block.
+func TxBlock(rows [][]itemset.Item) Block {
+	txs := make([][]int32, len(rows))
+	for i, row := range rows {
+		tx := make([]int32, len(row))
+		for j, it := range row {
+			tx[j] = int32(it)
+		}
+		txs[i] = tx
+	}
+	if txs == nil {
+		txs = [][]int32{}
+	}
+	return Block{Txs: txs}
+}
+
+// PointBlock wraps points as a Block.
+func PointBlock(pts []cf.Point) Block {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = []float64(p)
+	}
+	if out == nil {
+		out = [][]float64{}
+	}
+	return Block{Points: out}
+}
+
+// Items converts the transaction payload to miner rows.
+func (b Block) Items() [][]itemset.Item {
+	rows := make([][]itemset.Item, len(b.Txs))
+	for i, tx := range b.Txs {
+		row := make([]itemset.Item, len(tx))
+		for j, it := range tx {
+			row[j] = itemset.Item(it)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// CFPoints converts the point payload to miner points.
+func (b Block) CFPoints() []cf.Point {
+	pts := make([]cf.Point, len(b.Points))
+	for i, p := range b.Points {
+		pts[i] = cf.Point(p)
+	}
+	return pts
+}
+
+// MarshalJSON emits exactly the one payload field that is set, so an empty
+// transaction block round-trips as {"txs":[]} instead of being collapsed to
+// an invalid {} by omitempty.
+func (b Block) MarshalJSON() ([]byte, error) {
+	if b.Txs != nil {
+		return json.Marshal(struct {
+			Txs [][]int32 `json:"txs"`
+		}{b.Txs})
+	}
+	return json.Marshal(struct {
+		Points [][]float64 `json:"points"`
+	}{b.Points})
+}
+
+// Encoder writes a block stream, one JSON object per line.
+type Encoder struct {
+	enc *json.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{enc: json.NewEncoder(w)} }
+
+// Encode appends one block to the stream.
+func (e *Encoder) Encode(b Block) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	return e.enc.Encode(b)
+}
+
+// Decoder reads a block stream. It tolerates any JSON whitespace between
+// objects (newlines in practice) and has no line-length limit.
+type Decoder struct {
+	dec *json.Decoder
+	n   int
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	d := json.NewDecoder(r)
+	// Item ids and coordinates fit the declared types exactly; unknown
+	// fields are configuration mistakes worth failing loudly on.
+	d.DisallowUnknownFields()
+	return &Decoder{dec: d}
+}
+
+// Next returns the next block of the stream, or io.EOF at its end.
+func (d *Decoder) Next() (Block, error) {
+	var b Block
+	if err := d.dec.Decode(&b); err != nil {
+		if err == io.EOF {
+			return b, io.EOF
+		}
+		return b, fmt.Errorf("blockio: block %d: %w", d.n+1, err)
+	}
+	d.n++
+	if err := b.Validate(); err != nil {
+		return b, fmt.Errorf("blockio: block %d: %w", d.n, err)
+	}
+	return b, nil
+}
+
+// ReadAll decodes the whole stream.
+func ReadAll(r io.Reader) ([]Block, error) {
+	d := NewDecoder(r)
+	var out []Block
+	for {
+		b, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+}

@@ -1,0 +1,69 @@
+package blockio
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/cf"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	blocks := []Block{
+		TxBlock([][]itemset.Item{{1, 2, 3}, {2, 4}}),
+		TxBlock(nil), // an empty block is a valid quiet period
+		PointBlock([]cf.Point{{0.5, -1.25}, {3, 4}}),
+	}
+	for _, b := range blocks {
+		if err := enc.Encode(b); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(blocks))
+	}
+	if got[0].Kind() != "tx" || got[1].Kind() != "tx" || got[2].Kind() != "points" {
+		t.Fatalf("kinds = %s %s %s", got[0].Kind(), got[1].Kind(), got[2].Kind())
+	}
+	rows := got[0].Items()
+	if len(rows) != 2 || len(rows[0]) != 3 || rows[0][2] != 3 || rows[1][1] != 4 {
+		t.Fatalf("tx rows mangled: %v", rows)
+	}
+	if n := len(got[1].Items()); n != 0 {
+		t.Fatalf("empty block decoded to %d rows", n)
+	}
+	pts := got[2].CFPoints()
+	if len(pts) != 2 || pts[0][1] != -1.25 {
+		t.Fatalf("points mangled: %v", pts)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"both payloads":  `{"txs":[[1]],"points":[[1.0]]}`,
+		"empty object":   `{}`,
+		"unknown field":  `{"transactions":[[1]]}`,
+		"truncated json": `{"txs":[[1`,
+	}
+	for name, in := range cases {
+		if _, err := ReadAll(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestDecoderStopsAtEOF(t *testing.T) {
+	d := NewDecoder(strings.NewReader("")) // empty stream
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("Next on empty stream = %v, want io.EOF", err)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+
+	"github.com/demon-mining/demon/internal/version"
 )
 
 // Handler serves the registry's current snapshot: JSON when the request asks
@@ -23,11 +25,31 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// HealthHandler answers liveness probes with 200 "ok".
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// VersionHandler serves the binary's build identity (module version + VCS
+// revision) as JSON.
+func VersionHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = version.Get().WriteJSON(w)
+	})
+}
+
 // DebugMux returns the mux the CLIs serve on -pprof-addr: the registry
-// snapshot at /metricsz and the runtime profiles under /debug/pprof/.
+// snapshot at /metricsz, liveness at /healthz, the build identity at
+// /versionz, and the runtime profiles under /debug/pprof/.
 func DebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metricsz", Handler(r))
+	mux.Handle("/healthz", HealthHandler())
+	mux.Handle("/versionz", VersionHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

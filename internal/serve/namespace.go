@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	demon "github.com/demon-mining/demon"
+	"github.com/demon-mining/demon/internal/blockio"
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull reports backpressure: the namespace's bounded ingest
+	// queue is at capacity (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("serve: ingest queue full")
+	// ErrDraining reports that intake has stopped for shutdown (HTTP 503).
+	ErrDraining = errors.New("serve: namespace draining")
+	// ErrWrongKind reports a payload the namespace cannot ingest — points
+	// into a transaction model or vice versa (HTTP 400).
+	ErrWrongKind = errors.New("serve: block kind does not match namespace kind")
+)
+
+// queued is one entry of the ingest queue: a block, or a flush marker whose
+// reply channel the worker signals once everything enqueued before it has
+// been applied (and, when checkpoint is set, checkpointed).
+type queued struct {
+	block      blockio.Block
+	flush      chan error
+	checkpoint bool
+}
+
+// Namespace is one resident model: a durable store, a miner created or
+// resumed over it, and a bounded ingest queue applied by a single worker
+// goroutine — AddBlock mutators must not race, so the worker is the
+// namespace's only mutator while queries read concurrently through the
+// miners' RWMutex read surfaces.
+type Namespace struct {
+	spec Spec
+	dir  string
+
+	store demon.Store
+
+	queue chan queued
+	done  chan struct{}
+
+	// mu guards draining and err; senders tracks in-flight queue sends so
+	// drain can close the queue without racing them.
+	mu       sync.Mutex
+	draining bool
+	err      error
+	senders  sync.WaitGroup
+
+	// Exactly one of the following is non-nil, per spec.Kind.
+	itemset *demon.ItemsetMiner
+	window  *demon.ItemsetWindowMiner
+	cluster *demon.ClusterMiner
+	monitor *monitorModel
+
+	accepted atomic.Int64
+	applied  atomic.Int64
+	rejected atomic.Int64
+	failed   atomic.Int64
+}
+
+// openNamespace creates or resumes the namespace under dir: the durable
+// store stack over dir/store and the miner via the Resume* paths, which
+// recover interrupted transactions and restore the last checkpoint — a
+// server killed mid-block reopens exactly at its last durable state.
+func openNamespace(dir string, spec Spec, queueDepth int) (*Namespace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.QueueDepth > 0 {
+		queueDepth = spec.QueueDepth
+	}
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	store, err := demon.NewDurableFileStore(filepath.Join(dir, "store"))
+	if err != nil {
+		return nil, err
+	}
+	n := &Namespace{
+		spec:  spec,
+		dir:   dir,
+		store: store,
+		queue: make(chan queued, queueDepth),
+		done:  make(chan struct{}),
+	}
+	switch spec.Kind {
+	case KindItemset:
+		strategy, _ := parseStrategy(spec.Strategy)
+		n.itemset, err = demon.ResumeItemsetMiner(demon.ItemsetMinerConfig{
+			MinSupport:          spec.MinSupport,
+			Strategy:            strategy,
+			Store:               store,
+			BSS:                 spec.bss(),
+			Workers:             spec.Workers,
+			AutoCheckpointEvery: spec.CheckpointEvery,
+		})
+	case KindWindow:
+		strategy, _ := parseStrategy(spec.Strategy)
+		cfg := demon.ItemsetWindowMinerConfig{
+			MinSupport:          spec.MinSupport,
+			Strategy:            strategy,
+			Store:               store,
+			WindowSize:          spec.WindowSize,
+			BSS:                 spec.bss(),
+			Workers:             spec.Workers,
+			AutoCheckpointEvery: spec.CheckpointEvery,
+		}
+		if spec.WindowRelBSS != "" {
+			rel, perr := demon.ParseWindowRelBSS(spec.WindowRelBSS)
+			if perr != nil {
+				return nil, perr
+			}
+			cfg.WindowRelBSS = rel
+			cfg.WindowSize = 0
+		}
+		n.window, err = demon.ResumeItemsetWindowMiner(cfg)
+	case KindCluster:
+		n.cluster, err = demon.ResumeClusterMiner(demon.ClusterMinerConfig{
+			K:                   spec.K,
+			Store:               store,
+			BSS:                 spec.bss(),
+			Workers:             spec.Workers,
+			AutoCheckpointEvery: spec.CheckpointEvery,
+		})
+	case KindMonitor:
+		n.monitor, err = resumeMonitor(store, spec)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening namespace %s: %w", spec.Name, err)
+	}
+	go n.run()
+	return n, nil
+}
+
+// Spec returns the namespace's configuration.
+func (n *Namespace) Spec() Spec { return n.spec }
+
+// Store exposes the namespace's store (read-only use: digests, stats).
+func (n *Namespace) Store() demon.Store { return n.store }
+
+// T returns the identifier of the latest applied block.
+func (n *Namespace) T() demon.BlockID {
+	switch {
+	case n.itemset != nil:
+		return n.itemset.T()
+	case n.window != nil:
+		return n.window.T()
+	case n.cluster != nil:
+		return n.cluster.T()
+	default:
+		return n.monitor.T()
+	}
+}
+
+// Err returns the sticky ingest failure, if any. Once a block transaction
+// fails the namespace refuses further ingestion (the underlying miner is
+// unusable until resumed); queries keep serving the last good model.
+func (n *Namespace) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// QueueDepth returns the current and maximum ingest queue occupancy.
+func (n *Namespace) QueueDepth() (depth, capacity int) {
+	return len(n.queue), cap(n.queue)
+}
+
+// Enqueue offers one block to the ingest queue without blocking: a full
+// queue is backpressure (ErrQueueFull), a draining namespace rejects intake
+// (ErrDraining), and a payload of the wrong kind is refused before it can
+// poison the worker (ErrWrongKind).
+func (n *Namespace) Enqueue(b blockio.Block) error {
+	if txPayload := b.Txs != nil; txPayload != n.spec.txKind() {
+		n.rejected.Add(1)
+		return fmt.Errorf("%w: %s block into %s namespace %s", ErrWrongKind, b.Kind(), n.spec.Kind, n.spec.Name)
+	}
+	n.mu.Lock()
+	if n.draining {
+		n.mu.Unlock()
+		n.rejected.Add(1)
+		return ErrDraining
+	}
+	if n.err != nil {
+		err := n.err
+		n.mu.Unlock()
+		n.rejected.Add(1)
+		return err
+	}
+	n.senders.Add(1)
+	n.mu.Unlock()
+	defer n.senders.Done()
+
+	select {
+	case n.queue <- queued{block: b}:
+		n.accepted.Add(1)
+		return nil
+	default:
+		n.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Flush blocks until every block enqueued before the call has been applied,
+// checkpointing afterwards when checkpoint is set. Unlike Enqueue it waits
+// for queue space, honouring ctx.
+func (n *Namespace) Flush(ctx context.Context, checkpoint bool) error {
+	n.mu.Lock()
+	if n.draining {
+		n.mu.Unlock()
+		return ErrDraining
+	}
+	n.senders.Add(1)
+	n.mu.Unlock()
+
+	marker := queued{flush: make(chan error, 1), checkpoint: checkpoint}
+	select {
+	case n.queue <- marker:
+		n.senders.Done()
+	case <-ctx.Done():
+		n.senders.Done()
+		return ctx.Err()
+	}
+	select {
+	case err := <-marker.flush:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drain stops intake, waits for the queue to empty, and checkpoints — the
+// graceful-shutdown path. The in-flight block transaction always completes:
+// the worker finishes its current AddBlock (one atomic store transaction)
+// before the queue closes, so a drained store is never mid-block. Drain is
+// idempotent; later calls wait for the first to finish.
+func (n *Namespace) Drain(ctx context.Context) error {
+	n.mu.Lock()
+	if !n.draining {
+		n.draining = true
+		// Close the queue only after every in-flight Enqueue/Flush send has
+		// finished — they checked draining before registering.
+		go func() {
+			n.senders.Wait()
+			close(n.queue)
+		}()
+	}
+	n.mu.Unlock()
+
+	select {
+	case <-n.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if err := n.Err(); err != nil {
+		return fmt.Errorf("serve: namespace %s drained with sticky failure: %w", n.spec.Name, err)
+	}
+	return n.checkpoint()
+}
+
+// run is the namespace's single ingest worker.
+func (n *Namespace) run() {
+	defer close(n.done)
+	for q := range n.queue {
+		if q.flush != nil {
+			err := n.Err()
+			if err == nil && q.checkpoint {
+				err = n.checkpoint()
+			}
+			q.flush <- err
+			continue
+		}
+		if n.Err() != nil {
+			// A poisoned namespace keeps consuming so drain never blocks,
+			// but applies nothing further.
+			n.failed.Add(1)
+			continue
+		}
+		if err := n.apply(q.block); err != nil {
+			n.failed.Add(1)
+			n.mu.Lock()
+			n.err = err
+			n.mu.Unlock()
+			continue
+		}
+		n.applied.Add(1)
+	}
+}
+
+// apply feeds one block to the resident miner — each call is one atomic
+// store transaction (PR 3): after a crash the store holds all of the
+// block's writes or none.
+func (n *Namespace) apply(b blockio.Block) error {
+	switch {
+	case n.itemset != nil:
+		_, err := n.itemset.AddBlock(b.Items())
+		return err
+	case n.window != nil:
+		_, err := n.window.AddBlock(b.Items())
+		return err
+	case n.cluster != nil:
+		_, err := n.cluster.AddBlock(b.CFPoints())
+		return err
+	default:
+		return n.monitor.AddBlock(b.Items())
+	}
+}
+
+// checkpoint persists the resident model through the store's transaction
+// layer. The monitor kind checkpoints implicitly — its durable state is the
+// per-block history written inside each AddBlock transaction.
+func (n *Namespace) checkpoint() error {
+	switch {
+	case n.itemset != nil:
+		return n.itemset.Checkpoint()
+	case n.window != nil:
+		return n.window.Checkpoint()
+	case n.cluster != nil:
+		return n.cluster.Checkpoint()
+	default:
+		return nil
+	}
+}
+
+// monitorModel adapts the in-memory pattern detector to the durable
+// namespace contract: every ingested block commits to the store (block data
+// + position meta, one transaction) before the detector absorbs it, and
+// resume replays the stored history into a fresh detector. Deviation state
+// is derived, so replay reproduces it exactly.
+type monitorModel struct {
+	mon    *demon.Monitor
+	io     *diskio.TxnStore
+	blocks *itemset.BlockStore // over io, so writes join the block transaction
+	// t is atomic: the ingest worker advances it while status handlers read
+	// it (the detector behind mon has its own RWMutex).
+	t      atomic.Int64
+	nextTx int
+}
+
+const monitorMetaKey = "checkpoint/monitor/meta"
+
+func putMonitorMeta(store diskio.Store, t demon.BlockID, nextTx int) error {
+	buf := diskio.AppendUvarint(nil, uint64(t))
+	buf = diskio.AppendUvarint(buf, uint64(nextTx))
+	return store.Put(monitorMetaKey, buf)
+}
+
+func getMonitorMeta(store diskio.Store) (t demon.BlockID, nextTx int, err error) {
+	data, err := store.Get(monitorMetaKey)
+	if err != nil {
+		return 0, 0, err
+	}
+	tv, data, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return 0, 0, fmt.Errorf("serve: decoding monitor meta: %w", err)
+	}
+	nv, data, err := diskio.ReadUvarint(data)
+	if err != nil {
+		return 0, 0, fmt.Errorf("serve: decoding monitor meta: %w", err)
+	}
+	if len(data) != 0 {
+		return 0, 0, fmt.Errorf("serve: %w: %d trailing bytes after monitor meta", diskio.ErrCorrupt, len(data))
+	}
+	return demon.BlockID(tv), int(nv), nil
+}
+
+func newMonitor(spec Spec) (*demon.Monitor, error) {
+	return demon.NewMonitor(demon.MonitorConfig{
+		MinSupport: spec.MinSupport,
+		Alpha:      spec.Alpha,
+		Workers:    spec.Workers,
+	})
+}
+
+// resumeMonitor rebuilds the detector by replaying the stored block history
+// recorded by previous AddBlock transactions; a fresh store starts empty.
+func resumeMonitor(store demon.Store, spec Spec) (*monitorModel, error) {
+	if _, err := demon.RecoverStore(store); err != nil {
+		return nil, err
+	}
+	mon, err := newMonitor(spec)
+	if err != nil {
+		return nil, err
+	}
+	m := &monitorModel{mon: mon, io: diskio.NewTxnStore(store)}
+	m.blocks = itemset.NewBlockStore(m.io)
+	t, nextTx, err := getMonitorMeta(store)
+	if errors.Is(err, diskio.ErrNotFound) {
+		return m, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for id := blockseq.ID(1); id <= t; id++ {
+		blk, err := m.blocks.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("serve: replaying monitor block %d: %w", id, err)
+		}
+		rows := make([][]itemset.Item, len(blk.Txs))
+		for i, tx := range blk.Txs {
+			rows[i] = tx.Items
+		}
+		if _, err := m.mon.AddBlock(rows); err != nil {
+			return nil, fmt.Errorf("serve: replaying monitor block %d: %w", id, err)
+		}
+	}
+	m.t.Store(int64(t))
+	m.nextTx = nextTx
+	return m, nil
+}
+
+func (m *monitorModel) T() demon.BlockID { return demon.BlockID(m.t.Load()) }
+
+// AddBlock commits the block durably, then lets the detector absorb it. A
+// detector failure after the commit is sticky — the namespace resumes
+// cleanly on restart by replaying the store.
+func (m *monitorModel) AddBlock(rows [][]itemset.Item) error {
+	id := m.T() + 1
+	blk := itemset.NewTxBlock(id, m.nextTx, rows)
+
+	m.io.Begin()
+	if err := m.blocks.Put(blk); err != nil {
+		m.io.Rollback()
+		return fmt.Errorf("serve: storing monitor block %d: %w", id, err)
+	}
+	if err := putMonitorMeta(m.io, id, m.nextTx+blk.Len()); err != nil {
+		m.io.Rollback()
+		return fmt.Errorf("serve: storing monitor meta: %w", err)
+	}
+	if err := m.io.Commit(); err != nil {
+		return err
+	}
+	if _, err := m.mon.AddBlock(rows); err != nil {
+		return err
+	}
+	m.t.Store(int64(id))
+	m.nextTx += blk.Len()
+	return nil
+}
+
+// removeDir deletes the namespace's directory tree; used by DELETE after a
+// successful drain.
+func (n *Namespace) removeDir() error { return os.RemoveAll(n.dir) }

@@ -1,0 +1,602 @@
+// Package serve is the resident mining server behind cmd/demon-serve: a
+// multi-tenant registry of namespaces (one resident miner or monitor per
+// model/config, each over its own crash-safe store), a streaming NDJSON
+// ingestion API with bounded per-namespace queues and backpressure, query
+// endpoints served concurrently from the miners' RWMutex read surfaces, and
+// a graceful drain that rides the transaction/checkpoint machinery so a
+// shutdown mid-stream never loses or corrupts state.
+//
+// Zero-dependency by design: net/http + encoding/json, like the rest of the
+// repository.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	demon "github.com/demon-mining/demon"
+	"github.com/demon-mining/demon/internal/blockio"
+	"github.com/demon-mining/demon/internal/obs"
+)
+
+// DefaultQueueDepth bounds a namespace's ingest queue when neither the
+// server config nor the namespace spec says otherwise.
+const DefaultQueueDepth = 64
+
+// Config configures a Server.
+type Config struct {
+	// Root is the directory holding one sub-directory per namespace. It is
+	// created if missing; existing namespaces under it are resumed.
+	Root string
+	// QueueDepth is the default per-namespace ingest queue bound
+	// (DefaultQueueDepth when zero); a namespace spec may override it.
+	QueueDepth int
+	// Registry receives the server's metrics (queue depths, block counters);
+	// obs.Default() when nil.
+	Registry *obs.Registry
+}
+
+// Server is the resident mining server: a registry of namespaces plus the
+// HTTP API over them.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	mu       sync.RWMutex
+	ns       map[string]*Namespace
+	draining bool
+}
+
+// New opens a server over cfg.Root, resuming every namespace already on
+// disk through the Resume* recovery paths — a server killed mid-block comes
+// back at its last durable state.
+func New(cfg Config) (*Server, error) {
+	if cfg.Root == "" {
+		return nil, fmt.Errorf("serve: config needs a root directory")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, reg: cfg.Registry, ns: make(map[string]*Namespace)}
+
+	entries, err := os.ReadDir(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(cfg.Root, e.Name())
+		spec, err := readSpec(dir)
+		if errors.Is(err, os.ErrNotExist) {
+			continue // not a namespace directory
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: resuming %s: %w", e.Name(), err)
+		}
+		if spec.Name != e.Name() {
+			return nil, fmt.Errorf("serve: namespace directory %s holds spec named %q", e.Name(), spec.Name)
+		}
+		n, err := openNamespace(dir, spec, cfg.QueueDepth)
+		if err != nil {
+			return nil, err
+		}
+		s.ns[spec.Name] = n
+	}
+
+	s.reg.AddCollector(func(r *obs.Registry) {
+		for _, n := range s.Namespaces() {
+			prefix := "serve." + n.spec.Name + "."
+			depth, _ := n.QueueDepth()
+			r.Gauge(prefix + "queue.depth").Set(int64(depth))
+			r.Gauge(prefix + "blocks.accepted").Set(n.accepted.Load())
+			r.Gauge(prefix + "blocks.applied").Set(n.applied.Load())
+			r.Gauge(prefix + "blocks.rejected").Set(n.rejected.Load())
+			r.Gauge(prefix + "blocks.failed").Set(n.failed.Load())
+			r.Gauge(prefix + "t").Set(int64(n.T()))
+		}
+	})
+	return s, nil
+}
+
+// Namespaces lists the current namespaces sorted by name.
+func (s *Server) Namespaces() []*Namespace {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Namespace, 0, len(s.ns))
+	for _, n := range s.ns {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].spec.Name < out[j].spec.Name })
+	return out
+}
+
+// Namespace returns one namespace by name.
+func (s *Server) Namespace(name string) (*Namespace, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.ns[name]
+	return n, ok
+}
+
+// Create validates the spec, persists it, and opens the namespace.
+func (s *Server) Create(spec Spec) (*Namespace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if _, ok := s.ns[spec.Name]; ok {
+		return nil, fmt.Errorf("serve: namespace %s already exists", spec.Name)
+	}
+	dir := filepath.Join(s.cfg.Root, spec.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeSpec(dir, spec); err != nil {
+		return nil, err
+	}
+	n, err := openNamespace(dir, spec, s.cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	s.ns[spec.Name] = n
+	return n, nil
+}
+
+// Delete drains a namespace and removes it, including its on-disk state.
+func (s *Server) Delete(ctx context.Context, name string) error {
+	s.mu.Lock()
+	n, ok := s.ns[name]
+	if ok {
+		delete(s.ns, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: namespace %s not found", name)
+	}
+	// Drain applies what was already accepted; a sticky failure must not
+	// block deletion, so only the removal error is fatal here.
+	_ = n.Drain(ctx)
+	return n.removeDir()
+}
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Drain stops intake on every namespace, waits for their queues to empty
+// (each in-flight block finishing its atomic transaction), and checkpoints
+// every model. After Drain returns nil every namespace's store is at a
+// consistent, resumable position. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 1)
+	for _, n := range s.Namespaces() {
+		wg.Add(1)
+		go func(n *Namespace) {
+			defer wg.Done()
+			if err := n.Drain(ctx); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// ---- HTTP API ----
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// ingestResult reports how far an ingest request got. On backpressure the
+// client re-sends the stream from Accepted blocks in.
+type ingestResult struct {
+	// Accepted blocks were enqueued and will be applied (drain included).
+	Accepted int `json:"accepted"`
+	// Enqueued is the queue depth after the request (a congestion hint).
+	Enqueued int    `json:"enqueued"`
+	Error    string `json:"error,omitempty"`
+}
+
+// nsStatus is the status document of one namespace.
+type nsStatus struct {
+	Spec       Spec          `json:"spec"`
+	T          demon.BlockID `json:"t"`
+	QueueDepth int           `json:"queue_depth"`
+	QueueCap   int           `json:"queue_cap"`
+	Accepted   int64         `json:"blocks_accepted"`
+	Applied    int64         `json:"blocks_applied"`
+	Rejected   int64         `json:"blocks_rejected"`
+	Failed     int64         `json:"blocks_failed"`
+	Healthy    bool          `json:"healthy"`
+	Error      string        `json:"error,omitempty"`
+}
+
+func (n *Namespace) status() nsStatus {
+	depth, capacity := n.QueueDepth()
+	st := nsStatus{
+		Spec:       n.spec,
+		T:          n.T(),
+		QueueDepth: depth,
+		QueueCap:   capacity,
+		Accepted:   n.accepted.Load(),
+		Applied:    n.applied.Load(),
+		Rejected:   n.rejected.Load(),
+		Failed:     n.failed.Load(),
+		Healthy:    true,
+	}
+	if err := n.Err(); err != nil {
+		st.Healthy = false
+		st.Error = err.Error()
+	}
+	return st
+}
+
+// itemsetJSON is one itemset with support in query responses.
+type itemsetJSON struct {
+	Items   []int32 `json:"items"`
+	Count   int     `json:"count"`
+	Support float64 `json:"support"`
+}
+
+func toItemsetJSON(xs []demon.ItemsetSupport) []itemsetJSON {
+	out := make([]itemsetJSON, len(xs))
+	for i, x := range xs {
+		items := make([]int32, len(x.Itemset))
+		for j, it := range x.Itemset {
+			items[j] = int32(it)
+		}
+		out[i] = itemsetJSON{Items: items, Count: x.Count, Support: x.Support}
+	}
+	return out
+}
+
+// ruleJSON is one association rule in query responses.
+type ruleJSON struct {
+	Antecedent []int32 `json:"antecedent"`
+	Consequent []int32 `json:"consequent"`
+	Support    float64 `json:"support"`
+	Confidence float64 `json:"confidence"`
+	Lift       float64 `json:"lift"`
+}
+
+// clusterJSON is one cluster in query responses.
+type clusterJSON struct {
+	Centroid []float64 `json:"centroid"`
+	N        int       `json:"n"`
+	Radius   float64   `json:"radius"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/namespaces                     create (Spec as JSON body)
+//	GET    /v1/namespaces                     list statuses
+//	GET    /v1/namespaces/{name}              one status
+//	DELETE /v1/namespaces/{name}              drain + remove (state included)
+//	POST   /v1/namespaces/{name}/blocks       ingest NDJSON blocks
+//	POST   /v1/namespaces/{name}/flush        wait for the queue to empty
+//	                                          (?checkpoint=1 checkpoints too)
+//	GET    /v1/namespaces/{name}/itemsets     frequent itemsets (?top=N)
+//	GET    /v1/namespaces/{name}/border       negative border
+//	GET    /v1/namespaces/{name}/rules        association rules (?minconf=C)
+//	GET    /v1/namespaces/{name}/clusters     clusters
+//	GET    /v1/namespaces/{name}/patterns     deviation report: compact
+//	                                          sequences (+?a=&b= similarity)
+//	GET    /healthz /versionz /metricsz /namespacesz /debug/pprof/
+func (s *Server) Handler() http.Handler {
+	mux := obs.DebugMux(s.reg)
+
+	// The server's health answers 503 once draining so load balancers stop
+	// routing to it; the DebugMux default would keep saying ok.
+	mux.Handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	}))
+
+	mux.Handle("GET /namespacesz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		statuses := []nsStatus{}
+		for _, n := range s.Namespaces() {
+			statuses = append(statuses, n.status())
+		}
+		writeJSON(w, http.StatusOK, statuses)
+	}))
+
+	mux.Handle("GET /v1/namespaces", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		statuses := []nsStatus{}
+		for _, n := range s.Namespaces() {
+			statuses = append(statuses, n.status())
+		}
+		writeJSON(w, http.StatusOK, statuses)
+	}))
+
+	mux.Handle("POST /v1/namespaces", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: parsing spec: %w", err))
+			return
+		}
+		n, err := s.Create(spec)
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusCreated, n.status())
+		}
+	}))
+
+	mux.Handle("GET /v1/namespaces/{name}", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
+		writeJSON(w, http.StatusOK, n.status())
+	}))
+
+	mux.Handle("DELETE /v1/namespaces/{name}", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Delete(r.Context(), r.PathValue("name")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+
+	mux.Handle("POST /v1/namespaces/{name}/blocks", s.withNS(s.handleIngest))
+	mux.Handle("POST /v1/namespaces/{name}/flush", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
+		checkpoint := r.URL.Query().Get("checkpoint") == "1"
+		err := n.Flush(r.Context(), checkpoint)
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, n.status())
+		}
+	}))
+
+	mux.Handle("GET /v1/namespaces/{name}/itemsets", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
+		var sets []demon.ItemsetSupport
+		switch {
+		case n.itemset != nil:
+			sets = n.itemset.FrequentItemsets()
+		case n.window != nil:
+			sets = n.window.FrequentItemsets()
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no itemset model", n.spec.Name, n.spec.Kind))
+			return
+		}
+		sort.Slice(sets, func(i, j int) bool {
+			if sets[i].Count != sets[j].Count {
+				return sets[i].Count > sets[j].Count
+			}
+			return sets[i].Itemset.Key() < sets[j].Itemset.Key()
+		})
+		if top, err := strconv.Atoi(r.URL.Query().Get("top")); err == nil && top >= 0 && top < len(sets) {
+			sets = sets[:top]
+		}
+		writeJSON(w, http.StatusOK, toItemsetJSON(sets))
+	}))
+
+	mux.Handle("GET /v1/namespaces/{name}/border", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
+		var l *demon.Lattice
+		switch {
+		case n.itemset != nil:
+			l = n.itemset.Lattice()
+		case n.window != nil:
+			l = n.window.Current()
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no itemset model", n.spec.Name, n.spec.Kind))
+			return
+		}
+		sets := l.BorderSets()
+		out := make([]demon.ItemsetSupport, len(sets))
+		for i, x := range sets {
+			c := l.Border[x.Key()]
+			out[i] = demon.ItemsetSupport{Itemset: x, Count: c, Support: float64(c) / float64(max(l.N, 1))}
+		}
+		writeJSON(w, http.StatusOK, toItemsetJSON(out))
+	}))
+
+	mux.Handle("GET /v1/namespaces/{name}/rules", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
+		minconf := 0.5
+		if v, err := strconv.ParseFloat(r.URL.Query().Get("minconf"), 64); err == nil {
+			minconf = v
+		}
+		var rules []demon.Rule
+		var err error
+		switch {
+		case n.itemset != nil:
+			rules, err = n.itemset.Rules(minconf)
+		case n.window != nil:
+			rules, err = n.window.Rules(minconf)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no itemset model", n.spec.Name, n.spec.Kind))
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := make([]ruleJSON, len(rules))
+		for i, rl := range rules {
+			out[i] = ruleJSON{
+				Antecedent: toInt32s(rl.Antecedent),
+				Consequent: toInt32s(rl.Consequent),
+				Support:    rl.Support,
+				Confidence: rl.Confidence,
+				Lift:       rl.Lift,
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	}))
+
+	mux.Handle("GET /v1/namespaces/{name}/clusters", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
+		if n.cluster == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no cluster model", n.spec.Name, n.spec.Kind))
+			return
+		}
+		cs, err := n.cluster.Clusters()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := make([]clusterJSON, len(cs))
+		for i, c := range cs {
+			out[i] = clusterJSON{Centroid: c.Centroid, N: c.N, Radius: c.Radius}
+		}
+		writeJSON(w, http.StatusOK, out)
+	}))
+
+	mux.Handle("GET /v1/namespaces/{name}/patterns", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
+		if n.monitor == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no monitor", n.spec.Name, n.spec.Kind))
+			return
+		}
+		type report struct {
+			T        demon.BlockID     `json:"t"`
+			Patterns [][]demon.BlockID `json:"patterns"`
+			Score    *float64          `json:"score,omitempty"`
+			PValue   *float64          `json:"p_value,omitempty"`
+			Similar  *bool             `json:"similar,omitempty"`
+		}
+		rep := report{T: n.monitor.T(), Patterns: n.monitor.mon.Patterns()}
+		q := r.URL.Query()
+		if q.Has("a") && q.Has("b") {
+			a, errA := strconv.Atoi(q.Get("a"))
+			b, errB := strconv.Atoi(q.Get("b"))
+			if errA != nil || errB != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("serve: a and b must be block identifiers"))
+				return
+			}
+			score, pv, ok := n.monitor.mon.Similarity(demon.BlockID(a), demon.BlockID(b))
+			if !ok {
+				writeError(w, http.StatusNotFound, fmt.Errorf("serve: no cached deviation for blocks %d and %d", a, b))
+				return
+			}
+			similar := pv >= n.spec.Alpha
+			rep.Score, rep.PValue, rep.Similar = &score, &pv, &similar
+		}
+		writeJSON(w, http.StatusOK, rep)
+	}))
+
+	return mux
+}
+
+func toInt32s(x demon.Itemset) []int32 {
+	out := make([]int32, len(x))
+	for i, it := range x {
+		out[i] = int32(it)
+	}
+	return out
+}
+
+// withNS resolves the {name} path value to a namespace.
+func (s *Server) withNS(h func(http.ResponseWriter, *http.Request, *Namespace)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n, ok := s.Namespace(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("serve: namespace %s not found", r.PathValue("name")))
+			return
+		}
+		h(w, r, n)
+	})
+}
+
+// handleIngest streams NDJSON blocks into the namespace's queue. It stops
+// at the first block the queue cannot take and answers 429 (full) or 503
+// (draining) with the accepted count and a Retry-After hint; the client
+// resumes the stream from there. Accepted blocks are applied even if the
+// server drains before they leave the queue.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, n *Namespace) {
+	dec := blockio.NewDecoder(r.Body)
+	res := ingestResult{}
+	respond := func(code int) {
+		res.Enqueued, _ = n.QueueDepth()
+		writeJSON(w, code, res)
+	}
+	for {
+		b, err := dec.Next()
+		if err == io.EOF {
+			respond(http.StatusAccepted)
+			return
+		}
+		if err != nil {
+			res.Error = err.Error()
+			respond(http.StatusBadRequest)
+			return
+		}
+		switch err := n.Enqueue(b); {
+		case err == nil:
+			res.Accepted++
+		case errors.Is(err, ErrQueueFull):
+			res.Error = err.Error()
+			w.Header().Set("Retry-After", "1")
+			respond(http.StatusTooManyRequests)
+			return
+		case errors.Is(err, ErrDraining):
+			res.Error = err.Error()
+			w.Header().Set("Retry-After", "5")
+			respond(http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, ErrWrongKind):
+			res.Error = err.Error()
+			respond(http.StatusBadRequest)
+			return
+		default:
+			res.Error = err.Error()
+			respond(http.StatusConflict) // sticky namespace failure
+			return
+		}
+	}
+}

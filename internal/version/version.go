@@ -1,0 +1,88 @@
+// Package version reports the build identity shared by every DEMON binary:
+// the module version and the VCS revision baked in by the Go toolchain. It
+// backs the -version flag of the CLIs and the /versionz endpoint of the
+// debug mux and demon-serve.
+package version
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Module is the main module path.
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for a source build).
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from, suffixed with
+	// "+dirty" when the working tree had local modifications; empty when the
+	// build carried no VCS stamp.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time (RFC 3339) when stamped.
+	Time string `json:"time,omitempty"`
+	// Go is the toolchain version the binary was built with.
+	Go string `json:"go"`
+}
+
+// Get reads the build identity from the binary's embedded build info.
+func Get() Info {
+	info := Info{Module: "github.com/demon-mining/demon", Version: "(devel)", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	var revision, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		}
+	}
+	if revision != "" {
+		if modified == "true" {
+			revision += "+dirty"
+		}
+		info.Revision = revision
+	}
+	return info
+}
+
+// String renders the one-line form the -version flags print.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s", i.Module, i.Version)
+	if i.Revision != "" {
+		s += " (" + i.Revision + ")"
+	}
+	return s + " " + i.Go
+}
+
+// WriteJSON writes the info as JSON, for /versionz.
+func (i Info) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(i)
+}
+
+// PrintAndExitIf implements the shared -version flag behaviour: when on is
+// true it prints the build identity of prog to stdout and exits 0.
+func PrintAndExitIf(on bool, prog string, exit func(int), stdout io.Writer) {
+	if !on {
+		return
+	}
+	fmt.Fprintf(stdout, "%s %s\n", prog, Get())
+	exit(0)
+}

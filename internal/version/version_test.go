@@ -1,0 +1,52 @@
+package version
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	i := Get()
+	if i.Module == "" || i.Version == "" || i.Go == "" {
+		t.Fatalf("incomplete build info: %+v", i)
+	}
+	if !strings.HasPrefix(i.Go, "go") {
+		t.Fatalf("Go version %q does not look like a toolchain version", i.Go)
+	}
+	s := i.String()
+	if !strings.Contains(s, i.Version) || !strings.Contains(s, i.Go) {
+		t.Fatalf("String() = %q misses version or toolchain", s)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Get().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var round Info
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if round.Module != Get().Module {
+		t.Fatalf("module %q != %q", round.Module, Get().Module)
+	}
+}
+
+func TestPrintAndExitIf(t *testing.T) {
+	var buf bytes.Buffer
+	code := -1
+	PrintAndExitIf(false, "x", func(c int) { code = c }, &buf)
+	if code != -1 || buf.Len() != 0 {
+		t.Fatalf("off flag still printed/exited (code %d, out %q)", code, buf.String())
+	}
+	PrintAndExitIf(true, "demon-test", func(c int) { code = c }, &buf)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.HasPrefix(buf.String(), "demon-test ") {
+		t.Fatalf("output %q does not lead with the program name", buf.String())
+	}
+}

@@ -68,7 +68,7 @@ type MaintenanceReport struct {
 // transactional database, using the BORDERS algorithm with the configured
 // counting strategy.
 type ItemsetMiner struct {
-	// mu makes readers (FrequentItemsets, Lattice, T, ModelBlocks) safe
+	// mu makes readers (FrequentItemsets, Lattice, Rules, T, ModelBlocks) safe
 	// concurrently with the mutating calls (AddBlock, DeleteOldestBlock,
 	// ChangeMinSupport, Checkpoint). Mutators take the write lock; readers
 	// share the read lock.
