@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build bin test race race-differential cover bench check faultsweep serve-smoke experiments examples fmt vet clean
+.PHONY: all build bin test race race-differential cover bench check faultsweep serve-smoke lint-metrics experiments examples fmt vet clean
 
 all: build test
 
@@ -31,9 +31,14 @@ cover:
 	$(GO) test -cover ./...
 
 # The CI gate: static analysis plus the full suite under the race detector.
-check:
+check: lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Validate every registry instrument name against the naming conventions the
+# Prometheus exposition relies on (see scripts/lint-metrics.sh).
+lint-metrics:
+	./scripts/lint-metrics.sh
 
 # Exhaustive crash-at-every-operation sweep with torn-write injection (see
 # faultsweep_test.go): every run is killed at one store-operation index,
@@ -47,8 +52,9 @@ faultsweep:
 # Smoke-test the resident server: first the kill-during-ingest e2e —
 # stream into two namespaces, SIGTERM mid-stream, restart, digest-compare
 # against an uninterrupted run — under the race detector, then the real
-# binary answering /healthz and /metricsz and drain-exiting on SIGTERM
-# (see scripts/serve-smoke.sh).
+# binary answering /healthz, /readyz, /tracez (an end-to-end traced ingest)
+# and /metricsz in both JSON and Prometheus exposition, and drain-exiting
+# on SIGTERM (see scripts/serve-smoke.sh).
 serve-smoke: bin
 	$(GO) test -race -count=1 -run TestE2EDrainRestartDigest ./internal/serve/
 	./scripts/serve-smoke.sh

@@ -1,6 +1,7 @@
 package demon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"github.com/demon-mining/demon/internal/borders"
 	"github.com/demon-mining/demon/internal/cf"
 	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/obs"
 )
 
 // Checkpointing persists miner state through the miner's Store, following
@@ -118,14 +120,17 @@ func (m *ItemsetMiner) Checkpoint() error {
 	if m.err != nil {
 		return m.unusable()
 	}
-	return m.writeCheckpoint(m.snap.T, m.totalTx)
+	return m.writeCheckpoint(context.Background(), m.snap.T, m.totalTx)
 }
 
 // writeCheckpoint stages the model and meta in a transaction of their own,
 // or joins the caller's (AddBlock auto-checkpoints inside its block
-// transaction, making block and checkpoint one atomic unit).
-func (m *ItemsetMiner) writeCheckpoint(t BlockID, totalTx int) error {
-	m.io.Begin()
+// transaction, making block and checkpoint one atomic unit). The span for
+// the checkpoint work records into ctx's trace when one is attached.
+func (m *ItemsetMiner) writeCheckpoint(ctx context.Context, t BlockID, totalTx int) error {
+	span := obs.Default().Timer("miner.checkpoint.ns").StartCtx(ctx)
+	defer span.End()
+	m.io.BeginCtx(span.Ctx(ctx))
 	ms := borders.NewModelStore(m.io, minerCheckpointPrefix)
 	if err := ms.Save(0, m.model); err != nil {
 		m.io.Rollback()
@@ -199,11 +204,13 @@ func (m *ItemsetWindowMiner) Checkpoint() error {
 	if m.err != nil {
 		return m.unusable()
 	}
-	return m.writeCheckpoint(m.snap.T, m.nextTx)
+	return m.writeCheckpoint(context.Background(), m.snap.T, m.nextTx)
 }
 
-func (m *ItemsetWindowMiner) writeCheckpoint(t BlockID, nextTx int) error {
-	m.io.Begin()
+func (m *ItemsetWindowMiner) writeCheckpoint(ctx context.Context, t BlockID, nextTx int) error {
+	span := obs.Default().Timer("miner.checkpoint.ns").StartCtx(ctx)
+	defer span.End()
+	m.io.BeginCtx(span.Ctx(ctx))
 	ms := borders.NewModelStore(m.io, windowCheckpointPrefix)
 	for i, slot := range m.g.Slots() {
 		if err := ms.Save(i, slot); err != nil {
@@ -319,11 +326,13 @@ func (m *ClusterMiner) Checkpoint() error {
 	if m.io == nil {
 		return fmt.Errorf("demon: cluster-miner checkpointing requires a Store")
 	}
-	return m.writeCheckpoint(m.snap.T)
+	return m.writeCheckpoint(context.Background(), m.snap.T)
 }
 
-func (m *ClusterMiner) writeCheckpoint(t BlockID) error {
-	m.io.Begin()
+func (m *ClusterMiner) writeCheckpoint(ctx context.Context, t BlockID) error {
+	span := obs.Default().Timer("miner.checkpoint.ns").StartCtx(ctx)
+	defer span.End()
+	m.io.BeginCtx(span.Ctx(ctx))
 	rollback := func(err error) error { m.io.Rollback(); return err }
 	if err := m.io.Put(clusterCheckpointPrefix+"/tree", m.plus.EncodeState()); err != nil {
 		return rollback(fmt.Errorf("demon: saving cluster checkpoint: %w", err))

@@ -1,6 +1,7 @@
 package demon
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"github.com/demon-mining/demon/internal/cf"
 	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/gemm"
+	"github.com/demon-mining/demon/internal/obs"
 )
 
 // Cluster is one output cluster of the clustering miners.
@@ -113,12 +115,23 @@ func (m *ClusterMiner) unusable() error {
 // With a configured Store, the point block and the automatic checkpoint
 // (when one is due) commit as a single atomic transaction; on error the
 // miner becomes unusable and must be reopened with ResumeClusterMiner.
-func (m *ClusterMiner) AddBlock(points []Point) (elapsed time.Duration, err error) {
+func (m *ClusterMiner) AddBlock(points []Point) (time.Duration, error) {
+	return m.AddBlockCtx(context.Background(), points)
+}
+
+// AddBlockCtx is AddBlock carrying a request context: when ctx belongs to a
+// sampled trace, the block's clustering span and the storage transaction
+// commit record into that trace.
+func (m *ClusterMiner) AddBlockCtx(ctx context.Context, points []Point) (elapsed time.Duration, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.err != nil {
 		return 0, m.unusable()
 	}
+	span := obs.Default().Timer("miner.cluster.addblock.ns").StartCtx(ctx)
+	defer span.End()
+	ctx = span.Ctx(ctx)
+
 	snap, id := m.snap.Append()
 
 	if m.io == nil {
@@ -133,7 +146,7 @@ func (m *ClusterMiner) AddBlock(points []Point) (elapsed time.Duration, err erro
 		return time.Since(start), nil
 	}
 
-	m.io.Begin()
+	m.io.BeginCtx(ctx)
 	defer func() {
 		if err != nil {
 			m.io.Rollback()
@@ -151,7 +164,7 @@ func (m *ClusterMiner) AddBlock(points []Point) (elapsed time.Duration, err erro
 		elapsed = time.Since(start)
 	}
 	if n := m.cfg.AutoCheckpointEvery; n > 0 && int(id)%n == 0 {
-		if err := m.writeCheckpoint(id); err != nil {
+		if err := m.writeCheckpoint(ctx, id); err != nil {
 			return 0, err
 		}
 	}

@@ -28,6 +28,7 @@ import (
 
 	"github.com/demon-mining/demon/internal/bench"
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/obs/log"
 	"github.com/demon-mining/demon/internal/version"
 )
 
@@ -40,9 +41,14 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the cumulative metrics-registry snapshot (JSON) to this file on exit")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
+	logCLI := log.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	version.PrintAndExitIf(*showVersion, "demon-bench", os.Exit, os.Stdout)
+	if _, err := logCLI.Apply(obs.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-bench:", err)
+		os.Exit(2)
+	}
 
 	selected := map[string]bool{}
 	if *exp == "all" {

@@ -28,6 +28,7 @@ import (
 
 	demon "github.com/demon-mining/demon"
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/obs/log"
 	"github.com/demon-mining/demon/internal/textio"
 	"github.com/demon-mining/demon/internal/version"
 )
@@ -43,6 +44,7 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint automatically every N blocks (requires -store)")
 	scrub := flag.Bool("scrub", false, "verify every record checksum in -store before mining, quarantining corrupt ones")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
+	logCLI := log.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	version.PrintAndExitIf(*showVersion, "demon-cluster", os.Exit, os.Stdout)
@@ -53,6 +55,10 @@ func main() {
 	}
 	if *metricsOut != "" || *pprofAddr != "" {
 		obs.Enable()
+	}
+	if _, err := logCLI.Apply(obs.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-cluster:", err)
+		os.Exit(2)
 	}
 	if *pprofAddr != "" {
 		if err := obs.Serve(*pprofAddr, obs.Default()); err != nil {

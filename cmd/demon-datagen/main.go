@@ -33,6 +33,7 @@ import (
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/cf"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/obs/log"
 	"github.com/demon-mining/demon/internal/pointgen"
 	"github.com/demon-mining/demon/internal/proxysim"
 	"github.com/demon-mining/demon/internal/quest"
@@ -50,9 +51,14 @@ func main() {
 	dir := flag.String("dir", "data", "output directory, or - for NDJSON on stdout")
 	format := flag.String("format", "text", "output format: text (one file per block) or ndjson (one JSON block per line)")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
+	logCLI := log.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	version.PrintAndExitIf(*showVersion, "demon-datagen", os.Exit, os.Stdout)
+	if _, err := logCLI.Apply(nil); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-datagen:", err)
+		os.Exit(2)
+	}
 
 	if err := run(*kind, *spec, *format, *blocks, *blockSize, *granularity, *rate, *seed, *dir, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-datagen:", err)

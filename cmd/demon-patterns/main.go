@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	demon "github.com/demon-mining/demon"
+	"github.com/demon-mining/demon/internal/obs/log"
 	"github.com/demon-mining/demon/internal/textio"
 	"github.com/demon-mining/demon/internal/version"
 )
@@ -33,9 +34,14 @@ func main() {
 	cycle := flag.Int("cycle", 0, "report the longest cyclic sub-pattern of this period")
 	labelsPath := flag.String("labels", "", "optional TSV (block<TAB>label...) naming blocks in the output")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
+	logCLI := log.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	version.PrintAndExitIf(*showVersion, "demon-patterns", os.Exit, os.Stdout)
+	if _, err := logCLI.Apply(nil); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-patterns:", err)
+		os.Exit(2)
+	}
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "demon-patterns: no block files given")

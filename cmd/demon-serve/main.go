@@ -20,8 +20,15 @@
 //	curl 'localhost:8080/v1/namespaces/retail/itemsets?top=10'
 //
 // Ingestion is backpressured: when a namespace's bounded queue is full the
-// server answers 429 with a Retry-After hint and the count of blocks it did
-// accept, and the client resumes the stream from there.
+// server answers 429 with a jittered Retry-After hint and the count of
+// blocks it did accept, and the client resumes the stream from there.
+//
+// Requests carrying an X-Demon-Trace-Id header are traced end to end (HTTP
+// handler, queue wait, miner AddBlock, transaction commit) and retrievable
+// at /tracez?id=...; -trace-sample traces a fraction of the rest. /readyz
+// reports per-namespace readiness, /metricsz?format=prometheus the metrics
+// in Prometheus exposition format, and -log-level/-log-format control the
+// structured stderr log.
 //
 // On SIGTERM/SIGINT the server stops intake (503), drains every queue —
 // each in-flight block finishing its atomic store transaction — checkpoints
@@ -43,6 +50,7 @@ import (
 	"time"
 
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/obs/log"
 	"github.com/demon-mining/demon/internal/serve"
 	"github.com/demon-mining/demon/internal/version"
 )
@@ -54,12 +62,18 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown may spend draining queues and checkpointing")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
+	logCLI := log.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	version.PrintAndExitIf(*showVersion, "demon-serve", os.Exit, os.Stdout)
 	obs.Enable()
+	if _, err := logCLI.Apply(obs.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "demon-serve:", err)
+		os.Exit(2)
+	}
 
 	if err := run(*root, *addr, *queueDepth, *drainTimeout, *metricsOut); err != nil {
+		log.Default().Error("fatal", "err", err.Error())
 		fmt.Fprintln(os.Stderr, "demon-serve:", err)
 		os.Exit(1)
 	}
@@ -71,7 +85,7 @@ func run(root, addr string, queueDepth int, drainTimeout time.Duration, metricsO
 		return err
 	}
 	for _, n := range srv.Namespaces() {
-		fmt.Printf("demon-serve: resumed namespace %s (%s) at block %d\n", n.Spec().Name, n.Spec().Kind, n.T())
+		log.Default().Info("resumed namespace", "ns", n.Spec().Name, "kind", string(n.Spec().Kind), "t", int64(n.T()))
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -81,7 +95,7 @@ func run(root, addr string, queueDepth int, drainTimeout time.Duration, metricsO
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	fmt.Printf("demon-serve: listening on %s (root %s)\n", ln.Addr(), root)
+	log.Default().Info("listening", "addr", ln.Addr().String(), "root", root)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -92,14 +106,14 @@ func run(root, addr string, queueDepth int, drainTimeout time.Duration, metricsO
 	}
 	stop() // a second signal kills immediately; recovery handles the rest
 
-	fmt.Println("demon-serve: draining (new intake rejected)")
+	log.Default().Info("draining (new intake rejected)")
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
 		return fmt.Errorf("draining: %w", err)
 	}
 	for _, n := range srv.Namespaces() {
-		fmt.Printf("demon-serve: namespace %s checkpointed at block %d\n", n.Spec().Name, n.T())
+		log.Default().Info("namespace checkpointed", "ns", n.Spec().Name, "t", int64(n.T()))
 	}
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err

@@ -1,6 +1,7 @@
 package diskio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -51,6 +52,10 @@ type TxnStore struct {
 	puts  map[string]bool // final keys staged by this txn
 	order []string        // staged keys in first-write order (commit order)
 	dels  map[string]bool // keys deleted by this txn
+
+	// sc is the request span context captured by BeginCtx, so the outermost
+	// Commit's span lands in the trace of the request that opened the txn.
+	sc obs.SpanContext
 }
 
 // NewTxnStore wraps inner.
@@ -68,7 +73,12 @@ func stageManifestKey(id string) string  { return StagingPrefix + id + "/manifes
 // it: only the outermost Commit applies the writes, so a routine that is
 // itself transactional (Checkpoint) can be called both standalone and from
 // within a larger transaction (AddBlock).
-func (s *TxnStore) Begin() {
+func (s *TxnStore) Begin() { s.BeginCtx(context.Background()) }
+
+// BeginCtx is Begin carrying a request context: when ctx belongs to a
+// sampled trace (obs.SpanContextFrom), the outermost Commit records its span
+// into that trace. An inner Begin never re-parents the transaction.
+func (s *TxnStore) BeginCtx(ctx context.Context) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.depth++
@@ -80,6 +90,7 @@ func (s *TxnStore) Begin() {
 	s.puts = make(map[string]bool)
 	s.order = nil
 	s.dels = make(map[string]bool)
+	s.sc = obs.SpanContextFrom(ctx)
 }
 
 // InTxn reports whether a transaction is active.
@@ -116,6 +127,7 @@ func (s *TxnStore) reset() {
 	s.puts = nil
 	s.order = nil
 	s.dels = nil
+	s.sc = obs.SpanContext{}
 }
 
 // Commit applies the transaction: manifest write (the commit point), staged
@@ -136,9 +148,12 @@ func (s *TxnStore) Commit() error {
 		s.mu.Unlock()
 		return nil
 	}
-	id, order, dels := s.id, s.order, s.dels
+	id, order, dels, sc := s.id, s.order, s.dels, s.sc
 	s.reset()
 	s.mu.Unlock()
+
+	span := obs.Default().Timer("diskio.txn.commit.ns").StartSpan(sc)
+	defer span.End()
 
 	if len(order) == 0 && len(dels) == 0 {
 		return nil

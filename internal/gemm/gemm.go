@@ -7,6 +7,7 @@
 package gemm
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 
@@ -158,6 +159,12 @@ func (g *GEMM[B, M]) bitFor(slot int, id blockseq.ID) bool {
 // id must be exactly T()+1. If any A_M update fails, the collection is left
 // inconsistent and the GEMM instance refuses further use.
 func (g *GEMM[B, M]) AddBlock(blk B, id blockseq.ID) error {
+	return g.AddBlockCtx(context.Background(), blk, id)
+}
+
+// AddBlockCtx is AddBlock carrying a request context: when ctx belongs to a
+// sampled trace, the slot-maintenance span (gemm.slide.ns) records into it.
+func (g *GEMM[B, M]) AddBlockCtx(ctx context.Context, blk B, id blockseq.ID) error {
 	if g.broken != nil {
 		return fmt.Errorf("gemm: maintainer is broken by a previous error: %w", g.broken)
 	}
@@ -167,7 +174,7 @@ func (g *GEMM[B, M]) AddBlock(blk B, id blockseq.ID) error {
 
 	// Shift: slot j+1 becomes slot j; a fresh model enters the last slot.
 	reg := obs.Default()
-	span := reg.Timer("gemm.slide.ns").Start()
+	span := reg.Timer("gemm.slide.ns").StartCtx(ctx)
 	next := make([]M, g.w)
 	copy(next, g.models[1:])
 	next[g.w-1] = g.am.Empty()

@@ -1,27 +1,86 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 
 	"github.com/demon-mining/demon/internal/version"
 )
 
-// Handler serves the registry's current snapshot: JSON when the request asks
-// for it (?format=json or an Accept: application/json header), aligned text
-// otherwise.
+// WriteJSONError writes a structured JSON error body ({"error": msg}) with
+// the given status — the error shape every endpoint in the repo uses.
+func WriteJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// Handler serves the registry's current snapshot: Prometheus text exposition
+// for ?format=prometheus, JSON when the request asks for it (?format=json or
+// an Accept: application/json header), aligned text otherwise.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		format := req.URL.Query().Get("format")
 		snap := r.Snapshot()
-		if req.URL.Query().Get("format") == "json" || req.Header.Get("Accept") == "application/json" {
+		switch {
+		case format == "prometheus" || format == "openmetrics":
+			w.Header().Set("Content-Type", PromContentType)
+			_ = snap.WritePrometheus(w)
+		case format == "json" || req.Header.Get("Accept") == "application/json":
 			w.Header().Set("Content-Type", "application/json")
 			_ = snap.WriteJSON(w)
+		case format == "" || format == "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = snap.WriteText(w)
+		default:
+			WriteJSONError(w, http.StatusBadRequest,
+				"unknown format "+strconv.Quote(format)+" (want text|json|prometheus)")
+		}
+	})
+}
+
+// TraceHandler serves the registry's recent-trace ring as JSON: all retained
+// traces newest-first (bounded by ?limit=N), or one trace by ?id=. Useful
+// fields per trace: spans in recording order and a slowest-span summary.
+func TraceHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		tc := r.Tracer()
+		if id := req.URL.Query().Get("id"); id != "" {
+			tr := tc.Lookup(id)
+			if tr == nil {
+				WriteJSONError(w, http.StatusNotFound, "no retained trace with id "+strconv.Quote(id))
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(tr.Snapshot())
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = snap.WriteText(w)
+		limit := 0
+		if s := req.URL.Query().Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				WriteJSONError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+				return
+			}
+			limit = n
+		}
+		traces := tc.Snapshot(limit)
+		if traces == nil {
+			traces = []TraceSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			SampleRate float64         `json:"sample_rate"`
+			Traces     []TraceSnapshot `json:"traces"`
+		}{SampleRate: tc.SampleRate(), Traces: traces})
 	})
 }
 
@@ -48,6 +107,7 @@ func VersionHandler() http.Handler {
 func DebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metricsz", Handler(r))
+	mux.Handle("/tracez", TraceHandler(r))
 	mux.Handle("/healthz", HealthHandler())
 	mux.Handle("/versionz", VersionHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,48 @@
+package log
+
+import (
+	"flag"
+	"os"
+
+	"github.com/demon-mining/demon/internal/obs"
+)
+
+// CLI holds the observability flag values shared by every cmd/ binary:
+// -log-level, -log-format, and -trace-sample. Register on a FlagSet before
+// Parse, then Apply once after.
+type CLI struct {
+	Level       string
+	Format      string
+	TraceSample float64
+}
+
+// RegisterFlags binds the shared observability flags to fs and returns the
+// holder to Apply after parsing.
+func RegisterFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.Level, "log-level", "info", "minimum log level: debug|info|warn|error")
+	fs.StringVar(&c.Format, "log-format", "text", "log encoding: text|json")
+	fs.Float64Var(&c.TraceSample, "trace-sample", 0,
+		"fraction of requests to trace when no X-Demon-Trace-Id is supplied (0..1; explicit IDs always trace)")
+	return c
+}
+
+// Apply configures the process-global logger from the parsed flag values and
+// installs a request tracer on reg (skipped when reg is nil). It returns the
+// configured logger.
+func (c *CLI) Apply(reg *obs.Registry) (*Logger, error) {
+	level, err := ParseLevel(c.Level)
+	if err != nil {
+		return nil, err
+	}
+	format, err := ParseFormat(c.Format)
+	if err != nil {
+		return nil, err
+	}
+	l := New(os.Stderr, level, format)
+	SetDefault(l)
+	if reg != nil {
+		reg.SetTracer(obs.NewTracer(obs.DefaultTraceCapacity, c.TraceSample))
+	}
+	return l, nil
+}

@@ -1,0 +1,449 @@
+// Package log is the repository's zero-dependency leveled structured logger.
+// It exists because the serving layer needs machine-readable, trace-stamped
+// diagnostics (one line per event, JSON or logfmt-style text) without pulling
+// in a logging framework, and because ad-hoc fmt.Printf lines can neither be
+// filtered by level nor correlated with the request traces in internal/obs.
+//
+// Design points, mirroring the obs cost model:
+//
+//   - A disabled logger (level above the call's) is one atomic load and a
+//     branch; passing no attrs allocates nothing (verified by a zero-alloc
+//     test like the PR 2 obs ones).
+//   - Attrs are flat alternating key/value pairs ("ns", name, "block", 7) —
+//     no Field structs to construct on the caller side.
+//   - Error-level records are rate-limited per (logger, second) window so a
+//     failing dependency cannot flood the sink; suppressed counts are
+//     reported on the next emitted error.
+//   - Records carry the trace ID from a context when logged via the *Ctx
+//     variants, tying log lines to /tracez entries.
+package log
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/demon-mining/demon/internal/obs"
+)
+
+// Level is the severity of a record. The numeric values match log/slog so
+// future interop is trivial.
+type Level int
+
+const (
+	LevelDebug Level = -4
+	LevelInfo  Level = 0
+	LevelWarn  Level = 4
+	LevelError Level = 8
+)
+
+// String returns the canonical upper-case level name.
+func (l Level) String() string {
+	switch {
+	case l <= LevelDebug:
+		return "DEBUG"
+	case l <= LevelInfo:
+		return "INFO"
+	case l <= LevelWarn:
+		return "WARN"
+	default:
+		return "ERROR"
+	}
+}
+
+// ParseLevel maps a flag string ("debug", "info", "warn", "error",
+// case-insensitive) to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch lower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("log: unknown level %q (want debug|info|warn|error)", s)
+}
+
+// Format selects the wire encoding of records.
+type Format int
+
+const (
+	// FormatText emits logfmt-style lines: ts=... level=... msg=... k=v.
+	FormatText Format = iota
+	// FormatJSON emits one JSON object per line.
+	FormatJSON
+)
+
+// ParseFormat maps a flag string ("text" or "json") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch lower(s) {
+	case "text", "":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatText, fmt.Errorf("log: unknown format %q (want text|json)", s)
+}
+
+func lower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if b[j] >= 'A' && b[j] <= 'Z' {
+					b[j] += 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
+}
+
+// errorWindow is the rate-limit window for error-level records.
+const errorWindow = time.Second
+
+// maxErrorsPerWindow caps error-level records emitted per window; the rest
+// are counted and reported as suppressed=N on the next emitted error.
+const maxErrorsPerWindow = 10
+
+// Logger writes leveled structured records to one sink. Safe for concurrent
+// use; nil-receiver-safe so optional loggers degrade to no-ops.
+type Logger struct {
+	level  atomic.Int64
+	format Format
+
+	mu sync.Mutex // serializes writes and guards the rate-limit state
+	w  io.Writer
+
+	// attrs are key/value pairs stamped on every record (from With).
+	attrs []any
+
+	// parent is the root logger owning the sink mutex and error budget;
+	// nil on root loggers, set on With-derived children.
+	parent *Logger
+
+	// Error rate limiting.
+	winStart   time.Time
+	winCount   int
+	suppressed int64
+
+	// clock is stubbed in tests.
+	clock func() time.Time
+}
+
+// New returns a logger writing to w at the given level and format.
+func New(w io.Writer, level Level, format Format) *Logger {
+	l := &Logger{format: format, w: w, clock: time.Now}
+	l.level.Store(int64(level))
+	return l
+}
+
+// defaultLogger is the process-global logger: stderr, info, text.
+var defaultLogger atomic.Pointer[Logger]
+
+func init() {
+	defaultLogger.Store(New(os.Stderr, LevelInfo, FormatText))
+}
+
+// Default returns the process-global logger.
+func Default() *Logger { return defaultLogger.Load() }
+
+// SetDefault replaces the process-global logger and returns the previous
+// one, so tests can install their own and restore on exit.
+func SetDefault(l *Logger) (prev *Logger) {
+	if l == nil {
+		l = New(io.Discard, LevelError, FormatText)
+	}
+	return defaultLogger.Swap(l)
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int64(level))
+}
+
+// Level returns the minimum emitted level.
+func (l *Logger) Level() Level {
+	if l == nil {
+		return LevelError + 1
+	}
+	return Level(l.level.Load())
+}
+
+// Enabled reports whether a record at the given level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int64(level) >= l.level.Load()
+}
+
+// With returns a logger that stamps the given alternating key/value pairs on
+// every record. The child shares the parent's sink, level, and error budget.
+func (l *Logger) With(attrs ...any) *Logger {
+	if l == nil || len(attrs) == 0 {
+		return l
+	}
+	child := &Logger{format: l.format, w: l.w, clock: l.clock}
+	child.level.Store(l.level.Load())
+	child.attrs = append(append([]any{}, l.attrs...), attrs...)
+	// Share the parent's mutex-guarded state by writing through the parent.
+	child.parent = rootOf(l)
+	return child
+}
+
+// parent points a With-derived logger at the root that owns the sink mutex
+// and rate-limit window, so all children share one serialized writer.
+func rootOf(l *Logger) *Logger {
+	if l.parent != nil {
+		return l.parent
+	}
+	return l
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, attrs ...any) { l.log(nil, LevelDebug, msg, attrs) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, attrs ...any) { l.log(nil, LevelInfo, msg, attrs) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, attrs ...any) { l.log(nil, LevelWarn, msg, attrs) }
+
+// Error logs at error level (rate-limited; see package docs).
+func (l *Logger) Error(msg string, attrs ...any) { l.log(nil, LevelError, msg, attrs) }
+
+// DebugCtx logs at debug level, stamping the trace ID carried by ctx.
+func (l *Logger) DebugCtx(ctx context.Context, msg string, attrs ...any) {
+	l.log(ctx, LevelDebug, msg, attrs)
+}
+
+// InfoCtx logs at info level, stamping the trace ID carried by ctx.
+func (l *Logger) InfoCtx(ctx context.Context, msg string, attrs ...any) {
+	l.log(ctx, LevelInfo, msg, attrs)
+}
+
+// WarnCtx logs at warn level, stamping the trace ID carried by ctx.
+func (l *Logger) WarnCtx(ctx context.Context, msg string, attrs ...any) {
+	l.log(ctx, LevelWarn, msg, attrs)
+}
+
+// ErrorCtx logs at error level, stamping the trace ID carried by ctx.
+func (l *Logger) ErrorCtx(ctx context.Context, msg string, attrs ...any) {
+	l.log(ctx, LevelError, msg, attrs)
+}
+
+func (l *Logger) log(ctx context.Context, level Level, msg string, attrs []any) {
+	if l == nil || int64(level) < l.level.Load() {
+		return
+	}
+	root := rootOf(l)
+
+	var traceID string
+	if ctx != nil {
+		traceID = obs.SpanContextFrom(ctx).TraceID()
+	}
+
+	root.mu.Lock()
+	defer root.mu.Unlock()
+
+	now := root.clockNow()
+	var suppressed int64
+	if level >= LevelError {
+		if now.Sub(root.winStart) >= errorWindow {
+			root.winStart = now
+			root.winCount = 0
+		}
+		root.winCount++
+		if root.winCount > maxErrorsPerWindow {
+			root.suppressed++
+			return
+		}
+		suppressed, root.suppressed = root.suppressed, 0
+	}
+
+	buf := make([]byte, 0, 256)
+	if l.format == FormatJSON {
+		buf = appendJSONRecord(buf, now, level, msg, traceID, suppressed, l.attrs, attrs)
+	} else {
+		buf = appendTextRecord(buf, now, level, msg, traceID, suppressed, l.attrs, attrs)
+	}
+	buf = append(buf, '\n')
+	root.w.Write(buf) //nolint:errcheck // a failing log sink must not fail the caller
+}
+
+func (l *Logger) clockNow() time.Time {
+	if l.clock != nil {
+		return l.clock()
+	}
+	return time.Now()
+}
+
+// appendTextRecord emits logfmt-style: ts=RFC3339 level=INFO msg="..." k=v.
+func appendTextRecord(buf []byte, now time.Time, level Level, msg, traceID string, suppressed int64, base, attrs []any) []byte {
+	buf = append(buf, "ts="...)
+	buf = now.UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, " level="...)
+	buf = append(buf, level.String()...)
+	buf = append(buf, " msg="...)
+	buf = appendTextValue(buf, msg)
+	if traceID != "" {
+		buf = append(buf, " trace="...)
+		buf = append(buf, traceID...)
+	}
+	if suppressed > 0 {
+		buf = append(buf, " suppressed="...)
+		buf = strconv.AppendInt(buf, suppressed, 10)
+	}
+	for _, kv := range [2][]any{base, attrs} {
+		for i := 0; i+1 < len(kv); i += 2 {
+			buf = append(buf, ' ')
+			buf = append(buf, attrKey(kv[i])...)
+			buf = append(buf, '=')
+			buf = appendTextValue(buf, kv[i+1])
+		}
+	}
+	return buf
+}
+
+// appendJSONRecord emits one JSON object:
+// {"ts":"...","level":"INFO","msg":"...","trace":"...","k":v}.
+func appendJSONRecord(buf []byte, now time.Time, level Level, msg, traceID string, suppressed int64, base, attrs []any) []byte {
+	buf = append(buf, `{"ts":"`...)
+	buf = now.UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, level.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSONString(buf, msg)
+	if traceID != "" {
+		buf = append(buf, `,"trace":`...)
+		buf = appendJSONString(buf, traceID)
+	}
+	if suppressed > 0 {
+		buf = append(buf, `,"suppressed":`...)
+		buf = strconv.AppendInt(buf, suppressed, 10)
+	}
+	for _, kv := range [2][]any{base, attrs} {
+		for i := 0; i+1 < len(kv); i += 2 {
+			buf = append(buf, ',')
+			buf = appendJSONString(buf, attrKey(kv[i]))
+			buf = append(buf, ':')
+			buf = appendJSONValue(buf, kv[i+1])
+		}
+	}
+	return append(buf, '}')
+}
+
+// attrKey coerces an attr key to a string without fmt for the common case.
+func attrKey(k any) string {
+	if s, ok := k.(string); ok {
+		return s
+	}
+	return fmt.Sprint(k)
+}
+
+// appendTextValue appends a logfmt value, quoting only when needed.
+func appendTextValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		if textNeedsQuote(x) {
+			return strconv.AppendQuote(buf, x)
+		}
+		return append(buf, x...)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case time.Duration:
+		return append(buf, x.String()...)
+	case error:
+		return appendTextValue(buf, x.Error())
+	case nil:
+		return append(buf, "null"...)
+	default:
+		return appendTextValue(buf, fmt.Sprint(x))
+	}
+}
+
+func textNeedsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c <= ' ' || c == '"' || c == '=' || c >= 0x7f {
+			return true
+		}
+	}
+	return false
+}
+
+// appendJSONValue appends a JSON-encoded attr value.
+func appendJSONValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendJSONString(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case time.Duration:
+		return appendJSONString(buf, x.String())
+	case error:
+		return appendJSONString(buf, x.Error())
+	case nil:
+		return append(buf, "null"...)
+	default:
+		return appendJSONString(buf, fmt.Sprint(x))
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends a JSON string literal. strconv.Quote is not
+// usable here: it emits \x.. escapes for control bytes, which is invalid
+// JSON. Non-UTF-8 bytes are escaped as �-free \u00XX so output stays
+// parseable regardless of input.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			buf = append(buf, '\\', '"')
+		case c == '\\':
+			buf = append(buf, '\\', '\\')
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c < 0x20:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}

@@ -27,6 +27,7 @@
 package obs
 
 import (
+	"context"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,11 @@ type Registry struct {
 	collectors []func(*Registry)
 
 	spanHook atomic.Pointer[func(SpanEvent)]
+	tracer   atomic.Pointer[Tracer]
+
+	// runtimeCollector guards RegisterRuntimeCollector against double
+	// registration.
+	runtimeCollector atomic.Bool
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -119,6 +125,28 @@ func (r *Registry) OnSpan(hook func(SpanEvent)) {
 		return
 	}
 	r.spanHook.Store(&hook)
+}
+
+// SetTracer installs the request tracer whose traces ctx-aware spans record
+// into and /tracez serves from. A nil tracer uninstalls.
+func (r *Registry) SetTracer(tc *Tracer) {
+	if r == nil {
+		return
+	}
+	if tc == nil {
+		r.tracer.Store(nil)
+		return
+	}
+	r.tracer.Store(tc)
+}
+
+// Tracer returns the installed request tracer (nil when tracing is not
+// configured).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Load()
 }
 
 // AddCollector registers a callback run at the start of every Snapshot —
@@ -433,21 +461,67 @@ func (t *Timer) Start() Span {
 
 // Child opens a span against t nested under parent, so the tracing hook sees
 // the phase structure (for example borders.addblock → borders.update →
-// borders.count.ecut).
+// borders.count.ecut). When the parent belongs to a request trace the child
+// joins the same trace under the parent's span ID.
 func (t *Timer) Child(parent Span) Span {
 	s := t.Start()
 	if s.t != nil && parent.t != nil {
 		s.parent = parent.t.name
 	}
+	if s.t != nil && parent.tr != nil {
+		s.tr = parent.tr
+		s.parentID = parent.spanID
+		s.spanID = parent.tr.newSpanID()
+	}
 	return s
 }
 
+// StartSpan opens a span against the timer attached to the given span
+// context: its duration lands in the timer's histogram as usual, and — when
+// sc belongs to a sampled trace — in the trace's event ring as a child of
+// sc's span. An untraced sc behaves exactly like Start.
+func (t *Timer) StartSpan(sc SpanContext) Span {
+	s := t.Start()
+	if s.t != nil && sc.tr != nil {
+		s.tr = sc.tr
+		s.parentID = sc.spanID
+		s.spanID = sc.tr.newSpanID()
+	}
+	return s
+}
+
+// StartCtx is StartSpan against the span context carried by ctx — the usual
+// entry point for code that already threads a context.
+func (t *Timer) StartCtx(ctx context.Context) Span {
+	return t.StartSpan(SpanContextFrom(ctx))
+}
+
 // Span is one in-flight timed phase. It is a value type: starting and ending
-// a span never allocates.
+// a span never allocates unless it joined a request trace.
 type Span struct {
 	t      *Timer
 	parent string
 	start  time.Time
+
+	// Trace attachment, set by StartSpan/StartCtx/Child; nil outside traces.
+	tr       *Trace
+	spanID   uint64
+	parentID uint64
+}
+
+// SpanContext returns the span's position in its request trace, for
+// parenting further work under this span (the zero SpanContext when the span
+// is untraced).
+func (s Span) SpanContext() SpanContext {
+	if s.tr == nil {
+		return SpanContext{}
+	}
+	return SpanContext{tr: s.tr, spanID: s.spanID}
+}
+
+// Ctx returns ctx carrying this span's context, so callees parent under it.
+func (s Span) Ctx(ctx context.Context) context.Context {
+	return s.SpanContext().Context(ctx)
 }
 
 // SpanEvent is what the tracing hook receives at span End.
@@ -467,6 +541,7 @@ func (s Span) End() time.Duration {
 	}
 	d := time.Since(s.start)
 	s.t.hist.Observe(int64(d))
+	s.tr.record(s.t.name, s.spanID, s.parentID, s.start, d)
 	if hp := s.t.reg.spanHook.Load(); hp != nil {
 		(*hp)(SpanEvent{Name: s.t.name, Parent: s.parent, Start: s.start, Duration: d})
 	}

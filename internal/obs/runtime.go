@@ -1,0 +1,66 @@
+package obs
+
+// Process runtime collector: Go memory/GC/scheduler health mirrored into
+// registry gauges at Snapshot time through the AddCollector hook, so every
+// scrape of /metricsz (either format) reflects the current process state
+// without a background goroutine.
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// RegisterRuntimeCollector installs a collector that refreshes process
+// runtime gauges on every Snapshot:
+//
+//	runtime.goroutines          live goroutine count
+//	runtime.heap.alloc.bytes    bytes of allocated heap objects
+//	runtime.heap.sys.bytes      heap memory obtained from the OS
+//	runtime.rss.bytes           resident set size (0 where unavailable)
+//	runtime.gc.count            completed GC cycles
+//	runtime.gc.pause.total.ns   cumulative stop-the-world pause
+//	runtime.gc.pause.last.ns    most recent stop-the-world pause
+//
+// Safe to call more than once; only the first registration per registry
+// installs the collector.
+func RegisterRuntimeCollector(r *Registry) {
+	if r == nil || !r.runtimeCollector.CompareAndSwap(false, true) {
+		return
+	}
+	r.AddCollector(collectRuntime)
+}
+
+func collectRuntime(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("runtime.heap.alloc.bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("runtime.heap.sys.bytes").Set(int64(ms.HeapSys))
+	r.Gauge("runtime.rss.bytes").Set(residentSetBytes())
+	r.Gauge("runtime.gc.count").Set(int64(ms.NumGC))
+	r.Gauge("runtime.gc.pause.total.ns").Set(int64(ms.PauseTotalNs))
+	if ms.NumGC > 0 {
+		r.Gauge("runtime.gc.pause.last.ns").Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+}
+
+// residentSetBytes reads the process RSS from /proc/self/statm (field 2,
+// pages). Returns 0 on platforms or sandboxes where that is unavailable —
+// the gauge then reads as unknown rather than failing the snapshot.
+func residentSetBytes() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

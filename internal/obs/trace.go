@@ -1,0 +1,357 @@
+package obs
+
+// Request-scoped tracing. A Trace is one unit of externally observable work
+// — an HTTP request into demon-serve, one ingested block in a batch CLI —
+// identified by a trace ID that crosses process boundaries in the
+// X-Demon-Trace-Id header. Spans opened through the ctx-aware timer entry
+// points (Timer.StartCtx, Timer.StartSpan) record into both their metric
+// histogram and the trace's bounded ring of events, so /tracez can show the
+// exact span tree — HTTP handler, queue wait, miner AddBlock, transaction
+// commit — behind any one request while /metricsz keeps the aggregates.
+//
+// The contract mirrors the rest of the package: tracing rides the metrics
+// registry, so a disabled registry records no spans, a nil Trace (an
+// unsampled request) degrades every operation to a no-op, and starting or
+// ending an untraced span allocates nothing.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceIDHeader is the HTTP header demon-serve reads an incoming trace ID
+// from and stamps on every traced response, so traces cross process
+// boundaries (a coordinator in front of partitioned miners forwards it).
+const TraceIDHeader = "X-Demon-Trace-Id"
+
+const (
+	// DefaultTraceCapacity is the default number of recent traces a Tracer
+	// retains for /tracez.
+	DefaultTraceCapacity = 128
+	// maxSpansPerTrace bounds each trace's span ring; once full, the oldest
+	// events are overwritten and counted as dropped.
+	maxSpansPerTrace = 512
+	// maxTraceIDLen bounds accepted client-supplied trace IDs.
+	maxTraceIDLen = 64
+)
+
+// TraceSpan is one finished span inside a trace. StartNs is the offset from
+// the trace's start, so equal traces render identically regardless of wall
+// clock.
+type TraceSpan struct {
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	StartNs  int64  `json:"start_ns"`
+	DurNs    int64  `json:"duration_ns"`
+}
+
+// Trace is one request-scoped trace: an ID, a label ("POST /v1/..."), and a
+// bounded ring of finished spans. All methods are nil-receiver-safe; a nil
+// Trace is an unsampled request and records nothing.
+type Trace struct {
+	id    string
+	label string
+	start time.Time
+
+	nextSpan atomic.Uint64
+
+	mu      sync.Mutex
+	spans   []TraceSpan
+	next    int // ring write position once len(spans) == maxSpansPerTrace
+	dropped int64
+}
+
+// ID returns the trace identifier ("" for a nil trace).
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// Label returns the trace's display label.
+func (tr *Trace) Label() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.label
+}
+
+// Start returns the trace's start time.
+func (tr *Trace) Start() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return tr.start
+}
+
+// newSpanID allocates the next span identifier (1-based; 0 means "root").
+func (tr *Trace) newSpanID() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.nextSpan.Add(1)
+}
+
+// record appends one finished span to the ring.
+func (tr *Trace) record(name string, spanID, parentID uint64, start time.Time, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	ev := TraceSpan{
+		SpanID:   spanID,
+		ParentID: parentID,
+		Name:     name,
+		StartNs:  start.Sub(tr.start).Nanoseconds(),
+		DurNs:    d.Nanoseconds(),
+	}
+	tr.mu.Lock()
+	if len(tr.spans) < maxSpansPerTrace {
+		tr.spans = append(tr.spans, ev)
+	} else {
+		tr.spans[tr.next] = ev
+		tr.next = (tr.next + 1) % maxSpansPerTrace
+		tr.dropped++
+	}
+	tr.mu.Unlock()
+}
+
+// TraceSnapshot is the frozen, JSON-renderable state of a trace. Spans are
+// in recording order; Slowest lists the longest spans for at-a-glance
+// latency debugging.
+type TraceSnapshot struct {
+	ID      string      `json:"id"`
+	Label   string      `json:"label,omitempty"`
+	Start   time.Time   `json:"start"`
+	Spans   []TraceSpan `json:"spans,omitempty"`
+	Dropped int64       `json:"dropped_spans,omitempty"`
+	Slowest []TraceSpan `json:"slowest,omitempty"`
+}
+
+// slowestCount is how many top-duration spans a snapshot summarizes.
+const slowestCount = 3
+
+// Snapshot freezes the trace.
+func (tr *Trace) Snapshot() TraceSnapshot {
+	if tr == nil {
+		return TraceSnapshot{}
+	}
+	tr.mu.Lock()
+	spans := make([]TraceSpan, 0, len(tr.spans))
+	if len(tr.spans) < maxSpansPerTrace {
+		spans = append(spans, tr.spans...)
+	} else {
+		spans = append(spans, tr.spans[tr.next:]...)
+		spans = append(spans, tr.spans[:tr.next]...)
+	}
+	s := TraceSnapshot{ID: tr.id, Label: tr.label, Start: tr.start, Spans: spans, Dropped: tr.dropped}
+	tr.mu.Unlock()
+
+	slow := make([]TraceSpan, len(s.Spans))
+	copy(slow, s.Spans)
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].DurNs > slow[j].DurNs })
+	if len(slow) > slowestCount {
+		slow = slow[:slowestCount]
+	}
+	s.Slowest = slow
+	return s
+}
+
+// SpanContext is the propagation unit carried through context.Context and
+// the serve ingest queue: the trace plus the identifier of the span any new
+// child parents under. The zero value is "untraced" and every operation on
+// it is a no-op.
+type SpanContext struct {
+	tr     *Trace
+	spanID uint64
+}
+
+// Traced reports whether the context belongs to a sampled trace.
+func (sc SpanContext) Traced() bool { return sc.tr != nil }
+
+// Trace returns the underlying trace (nil when untraced).
+func (sc SpanContext) Trace() *Trace { return sc.tr }
+
+// TraceID returns the trace identifier ("" when untraced).
+func (sc SpanContext) TraceID() string { return sc.tr.ID() }
+
+// RecordSpan records an externally timed phase — a queue wait measured from
+// an enqueue timestamp, for example — as a finished child span of sc.
+func (sc SpanContext) RecordSpan(name string, start time.Time, d time.Duration) {
+	if sc.tr == nil {
+		return
+	}
+	sc.tr.record(name, sc.tr.newSpanID(), sc.spanID, start, d)
+}
+
+// Context installs sc into ctx so ctx-aware spans opened below it attach to
+// the trace.
+func (sc SpanContext) Context(ctx context.Context) context.Context {
+	if sc.tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+type spanCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying tr as the root span context.
+// A nil trace returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	return SpanContext{tr: tr}.Context(ctx)
+}
+
+// SpanContextFrom extracts the span context from ctx (the zero, untraced
+// SpanContext when absent or ctx is nil).
+func SpanContextFrom(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// Tracer retains the most recent traces in a bounded ring for /tracez and
+// decides which requests are traced. All methods are nil-receiver-safe.
+type Tracer struct {
+	sample float64
+	cap    int
+
+	seq atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+}
+
+// NewTracer returns a tracer keeping up to capacity recent traces
+// (DefaultTraceCapacity when <= 0) and sampling the given fraction of
+// unlabeled requests (clamped to [0, 1]). Requests arriving with an explicit
+// trace ID are always traced regardless of the sampling rate.
+func NewTracer(capacity int, sample float64) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if sample < 0 {
+		sample = 0
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	return &Tracer{sample: sample, cap: capacity}
+}
+
+// SampleRate returns the configured sampling fraction.
+func (tc *Tracer) SampleRate() float64 {
+	if tc == nil {
+		return 0
+	}
+	return tc.sample
+}
+
+// sanitizeTraceID keeps the ID alphabet header-and-log safe: letters,
+// digits, '-', '_' and '.', truncated to maxTraceIDLen. Everything else is
+// dropped; an ID that sanitizes to "" counts as absent.
+func sanitizeTraceID(id string) string {
+	out := make([]byte, 0, len(id))
+	for i := 0; i < len(id) && len(out) < maxTraceIDLen; i++ {
+		switch c := id[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// newTraceID generates a random 16-hex-digit trace identifier.
+func (tc *Tracer) newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The platform's randomness failing is vanishingly rare; fall back to
+		// a process-unique counter so tracing keeps working.
+		n := tc.seq.Load()
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// StartTrace begins a trace and registers it in the ring so /tracez shows it
+// immediately — spans recorded after the originating request finished (queue
+// waits, asynchronous block application) still land in it. A request with an
+// explicit id is always traced; without one the sampler decides, returning
+// nil (untraced) for the rest. A nil tracer never traces.
+func (tc *Tracer) StartTrace(id, label string) *Trace {
+	if tc == nil {
+		return nil
+	}
+	id = sanitizeTraceID(id)
+	n := tc.seq.Add(1)
+	if id == "" {
+		// Deterministic stride sampling: no clock, no global rand, and an
+		// exact long-run fraction.
+		if tc.sample <= 0 || float64((n-1)%1000) >= tc.sample*1000 {
+			return nil
+		}
+		id = tc.newTraceID()
+	}
+	tr := &Trace{id: id, label: label, start: time.Now()}
+	tc.mu.Lock()
+	if len(tc.ring) < tc.cap {
+		tc.ring = append(tc.ring, tr)
+	} else {
+		tc.ring[tc.next] = tr
+		tc.next = (tc.next + 1) % tc.cap
+	}
+	tc.mu.Unlock()
+	return tr
+}
+
+// Lookup returns the retained trace with the given ID, or nil.
+func (tc *Tracer) Lookup(id string) *Trace {
+	if tc == nil {
+		return nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for _, tr := range tc.ring {
+		if tr.ID() == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// Snapshot freezes up to limit retained traces, newest first (limit <= 0
+// means all).
+func (tc *Tracer) Snapshot(limit int) []TraceSnapshot {
+	if tc == nil {
+		return nil
+	}
+	tc.mu.Lock()
+	ordered := make([]*Trace, 0, len(tc.ring))
+	if len(tc.ring) < tc.cap {
+		ordered = append(ordered, tc.ring...)
+	} else {
+		ordered = append(ordered, tc.ring[tc.next:]...)
+		ordered = append(ordered, tc.ring[:tc.next]...)
+	}
+	tc.mu.Unlock()
+
+	if limit <= 0 || limit > len(ordered) {
+		limit = len(ordered)
+	}
+	out := make([]TraceSnapshot, 0, limit)
+	for i := len(ordered) - 1; i >= len(ordered)-limit; i-- {
+		out = append(out, ordered[i].Snapshot())
+	}
+	return out
+}

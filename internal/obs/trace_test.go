@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSanitizeTraceID(t *testing.T) {
+	for in, want := range map[string]string{
+		"abc-123_x.y":     "abc-123_x.y",
+		"has spaces\nand": "hasspacesand",
+		"héllo":           "hllo",
+		"\"quoted\"":      "quoted",
+		"":                "",
+	} {
+		if got := sanitizeTraceID(in); got != want {
+			t.Errorf("sanitizeTraceID(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if got := sanitizeTraceID(string(long)); len(got) != maxTraceIDLen {
+		t.Errorf("long ID truncated to %d, want %d", len(got), maxTraceIDLen)
+	}
+}
+
+func TestTracerExplicitIDAlwaysTraced(t *testing.T) {
+	tc := NewTracer(4, 0) // sampling off
+	if tr := tc.StartTrace("", "GET /x"); tr != nil {
+		t.Fatalf("unlabeled request traced at sample=0")
+	}
+	tr := tc.StartTrace("client-id-1", "POST /y")
+	if tr == nil {
+		t.Fatal("explicit ID not traced")
+	}
+	if tr.ID() != "client-id-1" {
+		t.Errorf("ID = %q", tr.ID())
+	}
+	if got := tc.Lookup("client-id-1"); got != tr {
+		t.Errorf("Lookup returned %v", got)
+	}
+}
+
+func TestTracerStrideSampling(t *testing.T) {
+	tc := NewTracer(2000, 0.1)
+	traced := 0
+	for i := 0; i < 1000; i++ {
+		if tc.StartTrace("", "GET /z") != nil {
+			traced++
+		}
+	}
+	if traced != 100 {
+		t.Errorf("sample=0.1 traced %d of 1000", traced)
+	}
+	if tc := NewTracer(10, 1.0); tc.StartTrace("", "x") == nil {
+		t.Error("sample=1 did not trace")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tc := NewTracer(3, 0)
+	for i := 0; i < 5; i++ {
+		tc.StartTrace(fmt.Sprintf("id-%d", i), "")
+	}
+	if tc.Lookup("id-0") != nil || tc.Lookup("id-1") != nil {
+		t.Error("evicted traces still retained")
+	}
+	snaps := tc.Snapshot(0)
+	if len(snaps) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(snaps))
+	}
+	// Newest first.
+	if snaps[0].ID != "id-4" || snaps[2].ID != "id-2" {
+		t.Errorf("snapshot order: %s, %s, %s", snaps[0].ID, snaps[1].ID, snaps[2].ID)
+	}
+	if got := tc.Snapshot(1); len(got) != 1 || got[0].ID != "id-4" {
+		t.Errorf("limit=1 snapshot: %v", got)
+	}
+}
+
+func TestTraceSpanRingWrap(t *testing.T) {
+	tr := &Trace{id: "x", start: time.Now()}
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		tr.record(fmt.Sprintf("s%d", i), tr.newSpanID(), 0, time.Now(), time.Millisecond)
+	}
+	s := tr.Snapshot()
+	if len(s.Spans) != maxSpansPerTrace {
+		t.Fatalf("ring holds %d spans, want %d", len(s.Spans), maxSpansPerTrace)
+	}
+	if s.Dropped != 10 {
+		t.Errorf("dropped = %d, want 10", s.Dropped)
+	}
+	// The oldest surviving span is the 11th recorded.
+	if s.Spans[0].Name != "s10" {
+		t.Errorf("oldest span = %s", s.Spans[0].Name)
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	reg := NewRegistry()
+	tc := NewTracer(8, 0)
+	reg.SetTracer(tc)
+	tr := tc.StartTrace("prop-1", "test")
+
+	ctx := ContextWithTrace(context.Background(), tr)
+	parent := reg.Timer("outer.ns").StartCtx(ctx)
+	child := reg.Timer("inner.ns").StartCtx(parent.Ctx(ctx))
+	child.End()
+	parent.End()
+
+	// An externally timed phase recorded through the SpanContext.
+	sc := SpanContextFrom(parent.Ctx(ctx))
+	sc.RecordSpan("queue.wait.ns", time.Now(), 5*time.Millisecond)
+
+	s := tr.Snapshot()
+	if len(s.Spans) != 3 {
+		t.Fatalf("spans = %v", s.Spans)
+	}
+	byName := map[string]TraceSpan{}
+	for _, sp := range s.Spans {
+		byName[sp.Name] = sp
+	}
+	outer, inner, wait := byName["outer.ns"], byName["inner.ns"], byName["queue.wait.ns"]
+	if outer.ParentID != 0 {
+		t.Errorf("outer span has parent %d", outer.ParentID)
+	}
+	if inner.ParentID != outer.SpanID {
+		t.Errorf("inner parent %d, want %d", inner.ParentID, outer.SpanID)
+	}
+	if wait.ParentID != outer.SpanID {
+		t.Errorf("wait parent %d, want %d", wait.ParentID, outer.SpanID)
+	}
+	if wait.DurNs != (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("wait duration %d", wait.DurNs)
+	}
+
+	// The spans also landed in the timers.
+	snap := reg.Snapshot()
+	if snap.Timers["outer.ns"].Count != 1 || snap.Timers["inner.ns"].Count != 1 {
+		t.Errorf("timer counts: %+v", snap.Timers)
+	}
+
+	if s.Slowest[0].DurNs < s.Slowest[len(s.Slowest)-1].DurNs {
+		t.Errorf("slowest not sorted: %v", s.Slowest)
+	}
+}
+
+func TestUntracedIsNoop(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.newSpanID() != 0 {
+		t.Error("nil trace not inert")
+	}
+	tr.record("x", 1, 0, time.Now(), time.Second)
+	if s := tr.Snapshot(); len(s.Spans) != 0 {
+		t.Error("nil trace recorded")
+	}
+
+	var sc SpanContext
+	if sc.Traced() || sc.TraceID() != "" {
+		t.Error("zero SpanContext claims traced")
+	}
+	sc.RecordSpan("x", time.Now(), time.Second)
+	ctx := sc.Context(context.Background())
+	if SpanContextFrom(ctx).Traced() {
+		t.Error("zero SpanContext installed into ctx")
+	}
+	if SpanContextFrom(nil).Traced() {
+		t.Error("nil ctx traced")
+	}
+
+	var tc *Tracer
+	if tc.StartTrace("id", "x") != nil || tc.Lookup("id") != nil || tc.Snapshot(0) != nil || tc.SampleRate() != 0 {
+		t.Error("nil tracer not inert")
+	}
+}
+
+// TestStartCtxDisabledRegistryAllocatesNothing extends the package's
+// zero-cost contract to the ctx-aware entry points: a disabled registry's
+// StartCtx/End pair on an untraced context must not allocate.
+func TestStartCtxDisabledRegistryAllocatesNothing(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(false)
+	tm := reg.Timer("cold.ns")
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(100, func() {
+		s := tm.StartCtx(ctx)
+		s.End()
+	}); allocs != 0 {
+		t.Errorf("disabled StartCtx allocates %v per op", allocs)
+	}
+}

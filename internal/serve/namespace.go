@@ -8,12 +8,15 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	demon "github.com/demon-mining/demon"
 	"github.com/demon-mining/demon/internal/blockio"
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/obs/log"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -31,10 +34,62 @@ var (
 // queued is one entry of the ingest queue: a block, or a flush marker whose
 // reply channel the worker signals once everything enqueued before it has
 // been applied (and, when checkpoint is set, checkpointed).
+//
+// Block entries carry the span context of the ingest request and their
+// enqueue time, so the worker can record the enqueue→dequeue wait into the
+// request's trace and apply the block under the same trace — the queue hop
+// is where the context.Context chain breaks, and this is the bridge across
+// it.
 type queued struct {
 	block      blockio.Block
 	flush      chan error
 	checkpoint bool
+
+	sc       obs.SpanContext
+	enqueued time.Time
+}
+
+// ageTracker follows the enqueue times of blocks still waiting in the
+// queue, so the collector can expose the oldest-enqueued-block age (the
+// second half of ingest lag, alongside queue depth). Pushes come from many
+// Enqueue goroutines, pops from the single worker; because a pop can win
+// the race against the push of the very entry it dequeued, a pop on an
+// empty tracker records debt that the next push cancels.
+type ageTracker struct {
+	mu   sync.Mutex
+	ts   []time.Time
+	debt int
+}
+
+func (a *ageTracker) push(t time.Time) {
+	a.mu.Lock()
+	if a.debt > 0 {
+		a.debt--
+	} else {
+		a.ts = append(a.ts, t)
+	}
+	a.mu.Unlock()
+}
+
+func (a *ageTracker) pop() {
+	a.mu.Lock()
+	if len(a.ts) == 0 {
+		a.debt++
+	} else {
+		a.ts = a.ts[1:]
+	}
+	a.mu.Unlock()
+}
+
+// oldestAge returns how long the oldest still-enqueued block has waited
+// (0 when the queue is empty).
+func (a *ageTracker) oldestAge(now time.Time) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.ts) == 0 {
+		return 0
+	}
+	return now.Sub(a.ts[0])
 }
 
 // Namespace is one resident model: a durable store, a miner created or
@@ -68,6 +123,8 @@ type Namespace struct {
 	applied  atomic.Int64
 	rejected atomic.Int64
 	failed   atomic.Int64
+
+	ages ageTracker
 }
 
 // openNamespace creates or resumes the namespace under dir: the durable
@@ -183,6 +240,13 @@ func (n *Namespace) QueueDepth() (depth, capacity int) {
 // (ErrDraining), and a payload of the wrong kind is refused before it can
 // poison the worker (ErrWrongKind).
 func (n *Namespace) Enqueue(b blockio.Block) error {
+	return n.EnqueueCtx(context.Background(), b)
+}
+
+// EnqueueCtx is Enqueue carrying the ingest request's context: when ctx
+// belongs to a sampled trace, the block's queue wait and its application by
+// the worker record into that trace even though they outlive the request.
+func (n *Namespace) EnqueueCtx(ctx context.Context, b blockio.Block) error {
 	if txPayload := b.Txs != nil; txPayload != n.spec.txKind() {
 		n.rejected.Add(1)
 		return fmt.Errorf("%w: %s block into %s namespace %s", ErrWrongKind, b.Kind(), n.spec.Kind, n.spec.Name)
@@ -203,9 +267,11 @@ func (n *Namespace) Enqueue(b blockio.Block) error {
 	n.mu.Unlock()
 	defer n.senders.Done()
 
+	entry := queued{block: b, sc: obs.SpanContextFrom(ctx), enqueued: time.Now()}
 	select {
-	case n.queue <- queued{block: b}:
+	case n.queue <- entry:
 		n.accepted.Add(1)
+		n.ages.push(entry.enqueued)
 		return nil
 	default:
 		n.rejected.Add(1)
@@ -282,17 +348,27 @@ func (n *Namespace) run() {
 			q.flush <- err
 			continue
 		}
+		n.ages.pop()
+		// The enqueue→dequeue wait is timed externally (the worker was busy
+		// elsewhere), so it is recorded, not spanned.
+		wait := time.Since(q.enqueued)
+		obs.Default().Timer("serve.queue.wait.ns").Record(wait)
+		q.sc.RecordSpan("serve.queue.wait.ns", q.enqueued, wait)
+
 		if n.Err() != nil {
 			// A poisoned namespace keeps consuming so drain never blocks,
 			// but applies nothing further.
 			n.failed.Add(1)
 			continue
 		}
-		if err := n.apply(q.block); err != nil {
+		ctx := q.sc.Context(context.Background())
+		if err := n.apply(ctx, q.block); err != nil {
 			n.failed.Add(1)
 			n.mu.Lock()
 			n.err = err
 			n.mu.Unlock()
+			log.Default().ErrorCtx(ctx, "block apply failed; namespace now refuses ingestion until resumed",
+				"ns", n.spec.Name, "t", int64(n.T()), "err", err)
 			continue
 		}
 		n.applied.Add(1)
@@ -301,20 +377,21 @@ func (n *Namespace) run() {
 
 // apply feeds one block to the resident miner — each call is one atomic
 // store transaction (PR 3): after a crash the store holds all of the
-// block's writes or none.
-func (n *Namespace) apply(b blockio.Block) error {
+// block's writes or none. ctx carries the ingest request's span context
+// across the queue hop.
+func (n *Namespace) apply(ctx context.Context, b blockio.Block) error {
 	switch {
 	case n.itemset != nil:
-		_, err := n.itemset.AddBlock(b.Items())
+		_, err := n.itemset.AddBlockCtx(ctx, b.Items())
 		return err
 	case n.window != nil:
-		_, err := n.window.AddBlock(b.Items())
+		_, err := n.window.AddBlockCtx(ctx, b.Items())
 		return err
 	case n.cluster != nil:
-		_, err := n.cluster.AddBlock(b.CFPoints())
+		_, err := n.cluster.AddBlockCtx(ctx, b.CFPoints())
 		return err
 	default:
-		return n.monitor.AddBlock(b.Items())
+		return n.monitor.AddBlockCtx(ctx, b.Items())
 	}
 }
 
@@ -427,10 +504,15 @@ func (m *monitorModel) T() demon.BlockID { return demon.BlockID(m.t.Load()) }
 // detector failure after the commit is sticky — the namespace resumes
 // cleanly on restart by replaying the store.
 func (m *monitorModel) AddBlock(rows [][]itemset.Item) error {
+	return m.AddBlockCtx(context.Background(), rows)
+}
+
+// AddBlockCtx is AddBlock carrying a request context for tracing.
+func (m *monitorModel) AddBlockCtx(ctx context.Context, rows [][]itemset.Item) error {
 	id := m.T() + 1
 	blk := itemset.NewTxBlock(id, m.nextTx, rows)
 
-	m.io.Begin()
+	m.io.BeginCtx(ctx)
 	if err := m.blocks.Put(blk); err != nil {
 		m.io.Rollback()
 		return fmt.Errorf("serve: storing monitor block %d: %w", id, err)
@@ -442,7 +524,7 @@ func (m *monitorModel) AddBlock(rows [][]itemset.Item) error {
 	if err := m.io.Commit(); err != nil {
 		return err
 	}
-	if _, err := m.mon.AddBlock(rows); err != nil {
+	if _, err := m.mon.AddBlockCtx(ctx, rows); err != nil {
 		return err
 	}
 	m.t.Store(int64(id))

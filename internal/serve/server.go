@@ -16,16 +16,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	demon "github.com/demon-mining/demon"
 	"github.com/demon-mining/demon/internal/blockio"
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/obs/log"
 )
 
 // DefaultQueueDepth bounds a namespace's ingest queue when neither the
@@ -97,18 +100,27 @@ func New(cfg Config) (*Server, error) {
 		s.ns[spec.Name] = n
 	}
 
+	// Per-namespace gauges use the "name|k=v" label convention the
+	// Prometheus writer parses (internal/obs/prom.go), so one metric family
+	// fans across namespaces as label values instead of minting a family per
+	// namespace. Ingest lag is queue depth plus the age of the
+	// oldest-enqueued block still waiting.
 	s.reg.AddCollector(func(r *obs.Registry) {
+		now := time.Now()
 		for _, n := range s.Namespaces() {
-			prefix := "serve." + n.spec.Name + "."
+			labels := "|ns=" + n.spec.Name
 			depth, _ := n.QueueDepth()
-			r.Gauge(prefix + "queue.depth").Set(int64(depth))
-			r.Gauge(prefix + "blocks.accepted").Set(n.accepted.Load())
-			r.Gauge(prefix + "blocks.applied").Set(n.applied.Load())
-			r.Gauge(prefix + "blocks.rejected").Set(n.rejected.Load())
-			r.Gauge(prefix + "blocks.failed").Set(n.failed.Load())
-			r.Gauge(prefix + "t").Set(int64(n.T()))
+			r.Gauge("serve.queue.depth" + labels).Set(int64(depth))
+			r.Gauge("serve.blocks.accepted" + labels).Set(n.accepted.Load())
+			r.Gauge("serve.blocks.applied" + labels).Set(n.applied.Load())
+			r.Gauge("serve.blocks.rejected" + labels).Set(n.rejected.Load())
+			r.Gauge("serve.blocks.failed" + labels).Set(n.failed.Load())
+			r.Gauge("serve.t" + labels).Set(int64(n.T()))
+			r.Gauge("serve.ingest.oldest.age.ns" + labels).Set(n.ages.oldestAge(now).Nanoseconds())
 		}
 	})
+	obs.RegisterRuntimeCollector(s.reg)
+	log.Default().Info("server open", "root", cfg.Root, "namespaces", len(s.ns))
 	return s, nil
 }
 
@@ -157,6 +169,7 @@ func (s *Server) Create(spec Spec) (*Namespace, error) {
 		return nil, err
 	}
 	s.ns[spec.Name] = n
+	log.Default().Info("namespace created", "ns", spec.Name, "kind", string(spec.Kind))
 	return n, nil
 }
 
@@ -174,6 +187,7 @@ func (s *Server) Delete(ctx context.Context, name string) error {
 	// Drain applies what was already accepted; a sticky failure must not
 	// block deletion, so only the removal error is fatal here.
 	_ = n.Drain(ctx)
+	log.Default().Info("namespace deleted", "ns", name)
 	return n.removeDir()
 }
 
@@ -192,6 +206,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	log.Default().Info("drain started", "namespaces", len(s.Namespaces()))
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 1)
@@ -210,8 +225,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	wg.Wait()
 	select {
 	case err := <-errs:
+		log.Default().Error("drain failed", "err", err)
 		return err
 	default:
+		log.Default().Info("drain complete")
 		return nil
 	}
 }
@@ -329,7 +346,10 @@ type clusterJSON struct {
 //	GET    /v1/namespaces/{name}/clusters     clusters
 //	GET    /v1/namespaces/{name}/patterns     deviation report: compact
 //	                                          sequences (+?a=&b= similarity)
-//	GET    /healthz /versionz /metricsz /namespacesz /debug/pprof/
+//	GET    /readyz                            readiness: per-namespace
+//	                                          resume/drain state (503 while
+//	                                          draining or after failures)
+//	GET    /healthz /versionz /metricsz /namespacesz /tracez /debug/pprof/
 func (s *Server) Handler() http.Handler {
 	mux := obs.DebugMux(s.reg)
 
@@ -337,11 +357,53 @@ func (s *Server) Handler() http.Handler {
 	// routing to it; the DebugMux default would keep saying ok.
 	mux.Handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			obs.WriteJSONError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
+	}))
+
+	// Readiness is distinct from liveness: a live server may still be unfit
+	// for traffic (draining, or every namespace sticky-failed). Reports the
+	// per-namespace resume/drain state so an operator can see which tenant
+	// is unhealthy.
+	mux.Handle("GET /readyz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		type nsReady struct {
+			Name       string `json:"name"`
+			Kind       string `json:"kind"`
+			Ready      bool   `json:"ready"`
+			QueueDepth int    `json:"queue_depth"`
+			QueueCap   int    `json:"queue_cap"`
+			T          int64  `json:"t"`
+			Error      string `json:"error,omitempty"`
+		}
+		type readiness struct {
+			Ready      bool      `json:"ready"`
+			Draining   bool      `json:"draining"`
+			Namespaces []nsReady `json:"namespaces"`
+		}
+		rep := readiness{Ready: true, Draining: s.Draining(), Namespaces: []nsReady{}}
+		if rep.Draining {
+			rep.Ready = false
+		}
+		for _, n := range s.Namespaces() {
+			depth, capacity := n.QueueDepth()
+			e := nsReady{
+				Name: n.spec.Name, Kind: string(n.spec.Kind), Ready: true,
+				QueueDepth: depth, QueueCap: capacity, T: int64(n.T()),
+			}
+			if err := n.Err(); err != nil {
+				e.Ready, e.Error = false, err.Error()
+				rep.Ready = false
+			}
+			rep.Namespaces = append(rep.Namespaces, e)
+		}
+		code := http.StatusOK
+		if !rep.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, rep)
 	}))
 
 	mux.Handle("GET /namespacesz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -530,7 +592,65 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, rep)
 	}))
 
-	return mux
+	return s.traceMiddleware(mux)
+}
+
+// statusWriter captures the response status for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// traceMiddleware starts a request trace — honoring an incoming
+// X-Demon-Trace-Id and always echoing the trace ID on traced responses, so
+// traces cross process boundaries — opens the HTTP handler span, and logs
+// the request. Requests without a client ID go through the tracer's
+// sampler; a request with one is always traced.
+func (s *Server) traceMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := s.reg.Tracer().StartTrace(r.Header.Get(obs.TraceIDHeader), r.Method+" "+r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if tr == nil {
+			next.ServeHTTP(sw, r)
+			logRequest(r.Context(), r, sw.status)
+			return
+		}
+		w.Header().Set(obs.TraceIDHeader, tr.ID())
+		span := s.reg.Timer("serve.http.request.ns").StartSpan(obs.SpanContextFrom(obs.ContextWithTrace(r.Context(), tr)))
+		ctx := span.Ctx(r.Context())
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		span.End()
+		logRequest(ctx, r, sw.status)
+	})
+}
+
+// logRequest emits one structured line per request: debug for successes so
+// the default info level stays quiet under load, warn for server errors.
+func logRequest(ctx context.Context, r *http.Request, status int) {
+	l := log.Default()
+	if status >= http.StatusInternalServerError {
+		l.WarnCtx(ctx, "request failed", "method", r.Method, "path", r.URL.Path, "status", status)
+		return
+	}
+	l.DebugCtx(ctx, "request", "method", r.Method, "path", r.URL.Path, "status", status)
+}
+
+// retryAfterJitter renders base seconds plus up to base extra, so
+// synchronized clients hitting backpressure spread their retries instead of
+// stampeding back in lockstep.
+func retryAfterJitter(base int) string {
+	return strconv.Itoa(base + rand.IntN(base+1))
 }
 
 func toInt32s(x demon.Itemset) []int32 {
@@ -576,17 +696,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, n *Namespa
 			respond(http.StatusBadRequest)
 			return
 		}
-		switch err := n.Enqueue(b); {
+		switch err := n.EnqueueCtx(r.Context(), b); {
 		case err == nil:
 			res.Accepted++
 		case errors.Is(err, ErrQueueFull):
 			res.Error = err.Error()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterJitter(1))
 			respond(http.StatusTooManyRequests)
 			return
 		case errors.Is(err, ErrDraining):
 			res.Error = err.Error()
-			w.Header().Set("Retry-After", "5")
+			w.Header().Set("Retry-After", retryAfterJitter(5))
 			respond(http.StatusServiceUnavailable)
 			return
 		case errors.Is(err, ErrWrongKind):

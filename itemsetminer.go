@@ -1,6 +1,7 @@
 package demon
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/demon-mining/demon/internal/borders"
 	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/obs"
 	"github.com/demon-mining/demon/internal/par"
 	"github.com/demon-mining/demon/internal/tidlist"
 )
@@ -223,16 +225,27 @@ func frequent2ItemsetsBySupport(l *itemset.Lattice) []itemset.Itemset {
 // error the store holds either all of them or none. On error the miner
 // becomes unusable (the in-memory model may disagree with the rolled-back
 // store); reopen it with ResumeItemsetMiner.
-func (m *ItemsetMiner) AddBlock(transactions [][]Item) (rep *MaintenanceReport, err error) {
+func (m *ItemsetMiner) AddBlock(transactions [][]Item) (*MaintenanceReport, error) {
+	return m.AddBlockCtx(context.Background(), transactions)
+}
+
+// AddBlockCtx is AddBlock carrying a request context: when ctx belongs to a
+// sampled trace, the block's ingest span and the storage transaction commit
+// record into that trace (see internal/obs).
+func (m *ItemsetMiner) AddBlockCtx(ctx context.Context, transactions [][]Item) (rep *MaintenanceReport, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.err != nil {
 		return nil, m.unusable()
 	}
+	span := obs.Default().Timer("miner.itemset.addblock.ns").StartCtx(ctx)
+	defer span.End()
+	ctx = span.Ctx(ctx)
+
 	snap, id := m.snap.Append()
 	blk := itemset.NewTxBlock(id, m.totalTx, transactions)
 
-	m.io.Begin()
+	m.io.BeginCtx(ctx)
 	defer func() {
 		if err != nil {
 			m.io.Rollback()
@@ -261,7 +274,7 @@ func (m *ItemsetMiner) AddBlock(transactions [][]Item) (rep *MaintenanceReport, 
 
 	totalTx := m.totalTx + len(blk.Txs)
 	if n := m.cfg.AutoCheckpointEvery; n > 0 && int(id)%n == 0 {
-		if err := m.writeCheckpoint(id, totalTx); err != nil {
+		if err := m.writeCheckpoint(ctx, id, totalTx); err != nil {
 			return nil, err
 		}
 	}

@@ -1,6 +1,7 @@
 package demon
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/focus"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/obs"
 	"github.com/demon-mining/demon/internal/pattern"
 )
 
@@ -101,8 +103,17 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 // AddBlock ingests the next block of transactions and updates the set of
 // compact sequences.
 func (m *Monitor) AddBlock(transactions [][]Item) (*MonitorReport, error) {
+	return m.AddBlockCtx(context.Background(), transactions)
+}
+
+// AddBlockCtx is AddBlock carrying a request context: when ctx belongs to a
+// sampled trace, the block's deviation-detection span records into it.
+func (m *Monitor) AddBlockCtx(ctx context.Context, transactions [][]Item) (*MonitorReport, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	span := obs.Default().Timer("monitor.addblock.ns").StartCtx(ctx)
+	defer span.End()
+
 	snap, id := m.snap.Append()
 	blk := itemset.NewTxBlock(id, m.next, transactions)
 	start := time.Now()

@@ -41,14 +41,46 @@ echo "serve-smoke: /versionz and /metricsz answer"
 curl -fsS "http://$ADDR/versionz" | grep -q '"go"'
 curl -fsS "http://$ADDR/metricsz" >/dev/null
 
-echo "serve-smoke: creating namespace and streaming blocks"
+echo "serve-smoke: /readyz reports ready"
+READY=$(curl -fsS "http://$ADDR/readyz")
+echo "$READY" | grep -q '"ready": *true' || { echo "serve-smoke: /readyz not ready: $READY" >&2; exit 1; }
+
+echo "serve-smoke: creating namespace and streaming blocks (traced)"
 curl -fsS -X POST "http://$ADDR/v1/namespaces" \
     -d '{"name":"smoke","kind":"itemset","min_support":0.05,"strategy":"ecut"}' >/dev/null
 bin/demon-datagen -kind tx -format ndjson -blocks 4 -blocksize 200 -dir - 2>/dev/null |
-    curl -fsS -X POST --data-binary @- "http://$ADDR/v1/namespaces/smoke/blocks" |
+    curl -fsS -X POST -H 'X-Demon-Trace-Id: smoke-trace' --data-binary @- \
+        "http://$ADDR/v1/namespaces/smoke/blocks" |
     grep -q '"accepted": 4'
 curl -fsS -X POST "http://$ADDR/v1/namespaces/smoke/flush?checkpoint=1" >/dev/null
 curl -fsS "http://$ADDR/v1/namespaces/smoke/itemsets?top=3" | grep -q '"support"'
+
+echo "serve-smoke: /tracez retains the client-labelled trace end to end"
+TRACE=$(curl -fsS "http://$ADDR/tracez?id=smoke-trace")
+for span in serve.http.request.ns serve.queue.wait.ns miner.itemset.addblock.ns diskio.txn.commit.ns; do
+    echo "$TRACE" | grep -q "\"$span\"" ||
+        { echo "serve-smoke: trace is missing span $span:" >&2; echo "$TRACE" >&2; exit 1; }
+done
+
+echo "serve-smoke: /metricsz?format=prometheus parses as exposition text"
+PROM=$(curl -fsS "http://$ADDR/metricsz?format=prometheus")
+echo "$PROM" | grep -q '^# TYPE demon_' ||
+    { echo "serve-smoke: no # TYPE demon_* families in exposition" >&2; exit 1; }
+echo "$PROM" | tail -1 | grep -q '^# EOF$' ||
+    { echo "serve-smoke: exposition does not end with # EOF" >&2; exit 1; }
+echo "$PROM" | grep -q '_seconds_bucket{.*le="+Inf"} ' ||
+    { echo "serve-smoke: no timer histogram buckets in exposition" >&2; exit 1; }
+echo "$PROM" | grep -q 'demon_serve_queue_depth{ns="smoke"} ' ||
+    { echo "serve-smoke: per-namespace labelled gauge missing" >&2; exit 1; }
+echo "$PROM" | grep -q '^demon_runtime_goroutines ' ||
+    { echo "serve-smoke: runtime collector gauges missing" >&2; exit 1; }
+# Every sample line must be NAME{labels} VALUE — no malformed stragglers.
+BAD=$(echo "$PROM" | grep -v '^#' | grep -Ev '^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9+.eInf-]+$' || true)
+if [ -n "$BAD" ]; then
+    echo "serve-smoke: malformed exposition line(s):" >&2
+    echo "$BAD" >&2
+    exit 1
+fi
 
 echo "serve-smoke: SIGTERM drains and exits cleanly"
 kill -TERM "$SRV_PID"

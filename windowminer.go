@@ -1,6 +1,7 @@
 package demon
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"github.com/demon-mining/demon/internal/diskio"
 	"github.com/demon-mining/demon/internal/gemm"
 	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/obs"
 	"github.com/demon-mining/demon/internal/tidlist"
 )
 
@@ -157,16 +159,27 @@ func (m *ItemsetWindowMiner) unusable() error {
 // The block's writes commit as one atomic transaction (see
 // ItemsetMiner.AddBlock); on error the miner becomes unusable and must be
 // reopened with ResumeItemsetWindowMiner.
-func (m *ItemsetWindowMiner) AddBlock(transactions [][]Item) (rep *WindowReport, err error) {
+func (m *ItemsetWindowMiner) AddBlock(transactions [][]Item) (*WindowReport, error) {
+	return m.AddBlockCtx(context.Background(), transactions)
+}
+
+// AddBlockCtx is AddBlock carrying a request context: when ctx belongs to a
+// sampled trace, the block's ingest span, the GEMM slot maintenance, and the
+// storage transaction commit record into that trace.
+func (m *ItemsetWindowMiner) AddBlockCtx(ctx context.Context, transactions [][]Item) (rep *WindowReport, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.err != nil {
 		return nil, m.unusable()
 	}
+	span := obs.Default().Timer("miner.window.addblock.ns").StartCtx(ctx)
+	defer span.End()
+	ctx = span.Ctx(ctx)
+
 	snap, id := m.snap.Append()
 	blk := itemset.NewTxBlock(id, m.nextTx, transactions)
 
-	m.io.Begin()
+	m.io.BeginCtx(ctx)
 	defer func() {
 		if err != nil {
 			m.io.Rollback()
@@ -185,7 +198,7 @@ func (m *ItemsetWindowMiner) AddBlock(transactions [][]Item) (rep *WindowReport,
 	rep.Ingest = time.Since(start)
 
 	start = time.Now()
-	if err := m.g.AddBlock(blk, id); err != nil {
+	if err := m.g.AddBlockCtx(ctx, blk, id); err != nil {
 		return nil, err
 	}
 	total := time.Since(start)
@@ -197,7 +210,7 @@ func (m *ItemsetWindowMiner) AddBlock(transactions [][]Item) (rep *WindowReport,
 
 	nextTx := m.nextTx + len(blk.Txs)
 	if n := m.cfg.AutoCheckpointEvery; n > 0 && int(id)%n == 0 {
-		if err := m.writeCheckpoint(id, nextTx); err != nil {
+		if err := m.writeCheckpoint(ctx, id, nextTx); err != nil {
 			return nil, err
 		}
 	}
