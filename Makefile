@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build bin test race race-differential cover bench check faultsweep serve-smoke lint-metrics experiments examples fmt vet clean
+.PHONY: all build bin test race race-differential cover bench check faultsweep chaos serve-smoke lint-metrics experiments examples fmt vet clean
 
 all: build test
 
@@ -48,6 +48,16 @@ lint-metrics:
 FAULTSWEEP_FLAGS ?=
 faultsweep:
 	$(GO) test -race $(FAULTSWEEP_FLAGS) -run 'FaultSweep|CrashSweep' ./...
+
+# The exactly-once resilience gate (see chaos_e2e_test.go): the fault
+# injection proxy's own suite, the resilient client against scripted fault
+# servers, and the headline e2e — demon-feed's client driven through resets,
+# torn writes, stalls, latency and a mid-retry server restart, with the
+# recovered store digest-compared against a fault-free run — all under the
+# race detector. Short mode keeps the crash sweeps sampled.
+chaos:
+	$(GO) test -race -short -count=1 ./internal/chaos/ ./internal/client/
+	$(GO) test -race -short -count=1 -run 'Chaos|CrashSweep|TestIngest|TestHTTP|TestSeq|TestRecoverSeq' ./internal/serve/
 
 # Smoke-test the resident server: first the kill-during-ingest e2e —
 # stream into two namespaces, SIGTERM mid-stream, restart, digest-compare

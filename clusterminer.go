@@ -56,6 +56,9 @@ type ClusterMinerConfig struct {
 	// block itself. Requires Store; zero or negative disables automatic
 	// checkpoints.
 	AutoCheckpointEvery int
+	// TxnHook, when non-nil, runs inside every AddBlock transaction before
+	// commit (requires Store); see ItemsetMinerConfig.TxnHook.
+	TxnHook func(store Store, id BlockID) error
 }
 
 func (c ClusterMinerConfig) treeConfig() cf.TreeConfig {
@@ -166,6 +169,11 @@ func (m *ClusterMiner) AddBlockCtx(ctx context.Context, points []Point) (elapsed
 	if n := m.cfg.AutoCheckpointEvery; n > 0 && int(id)%n == 0 {
 		if err := m.writeCheckpoint(ctx, id); err != nil {
 			return 0, err
+		}
+	}
+	if h := m.cfg.TxnHook; h != nil {
+		if err := h(m.io, id); err != nil {
+			return 0, fmt.Errorf("demon: block %d transaction hook: %w", id, err)
 		}
 	}
 	if err := m.io.Commit(); err != nil {

@@ -1,0 +1,70 @@
+// Command demon-chaos is a fault-injecting TCP proxy for exercising
+// demon-serve clients against bad networks. It forwards a local port to an
+// upstream while injecting one coherent fault per connection: added latency,
+// a bandwidth cap, a mid-stream stall, a TCP reset after N bytes, or a
+// graceful close after N bytes (a torn NDJSON write from the server's point
+// of view).
+//
+// Usage:
+//
+//	demon-chaos -listen 127.0.0.1:8081 -upstream 127.0.0.1:8080 \
+//	    -latency 50ms -reset-after 4096
+//
+// then point demon-feed (or curl) at :8081 instead of :8080.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/demon-mining/demon/internal/chaos"
+	"github.com/demon-mining/demon/internal/obs/log"
+	"github.com/demon-mining/demon/internal/version"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8081", "address to listen on")
+		upstream   = flag.String("upstream", "127.0.0.1:8080", "address to forward to")
+		latency    = flag.Duration("latency", 0, "extra latency per forwarded chunk, each direction")
+		rate       = flag.Int64("rate", 0, "bandwidth cap in bytes/sec per direction (0 = unlimited)")
+		stallAfter = flag.Int64("stall-after", 0, "stop forwarding after N client→upstream bytes (0 = off)")
+		stallFor   = flag.Duration("stall-for", 0, "bound the stall; 0 stalls until the connection dies")
+		resetAfter = flag.Int64("reset-after", 0, "send the client a TCP RST after N client→upstream bytes (0 = off)")
+		closeAfter = flag.Int64("close-after", 0, "close both sides after N client→upstream bytes (0 = off)")
+		showVer    = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	version.PrintAndExitIf(*showVer, "demon-chaos", os.Exit, os.Stdout)
+
+	logger := log.Default()
+	p, err := chaos.New(*listen, *upstream)
+	if err != nil {
+		logger.Error("demon-chaos: start failed", "err", err)
+		os.Exit(1)
+	}
+	p.Set(chaos.Toxics{
+		Latency:    *latency,
+		Rate:       *rate,
+		StallAfter: *stallAfter,
+		StallFor:   *stallFor,
+		ResetAfter: *resetAfter,
+		CloseAfter: *closeAfter,
+	})
+	logger.Info("demon-chaos: proxying", "listen", p.Addr(), "upstream", *upstream,
+		"toxics", fmt.Sprintf("%+v", p.Toxics()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	start := time.Now()
+	_ = p.Close()
+	resets, closes, stalls := p.Injected()
+	logger.Info("demon-chaos: shut down",
+		"accepted", p.Accepted(), "resets", resets, "closes", closes, "stalls", stalls,
+		"drain", time.Since(start).String())
+}

@@ -1,0 +1,133 @@
+// Command demon-feed streams NDJSON blocks from stdin into a demon-serve
+// namespace with exactly-once delivery: each input line gets a monotonic
+// sequence number (its position in the stream), the server deduplicates
+// re-sends and rejects gaps, and the client retries through resets, stalls,
+// and restarts with capped jittered backoff and a circuit breaker.
+//
+// Usage:
+//
+//	demon-datagen -kind tx -format ndjson -blocks 16 -dir - |
+//	    demon-feed -url http://127.0.0.1:8080 -ns retail
+//
+// On a re-run over the same input the already-ingested prefix is skipped
+// (durable blocks) or acknowledged as duplicates — feeding is idempotent.
+// The final checkpoint makes the whole stream durable before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/demon-mining/demon/internal/blockio"
+	"github.com/demon-mining/demon/internal/client"
+	"github.com/demon-mining/demon/internal/obs/log"
+	"github.com/demon-mining/demon/internal/version"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8080", "demon-serve base URL")
+		ns        = flag.String("ns", "", "target namespace (required)")
+		batch     = flag.Int("batch", 16, "blocks per ingest request")
+		timeout   = flag.Duration("timeout", time.Minute, "per-request deadline")
+		attempts  = flag.Int("attempts", 8, "attempts per batch before giving up")
+		ckptEvery = flag.Int("checkpoint-every", 0, "server checkpoint every N input blocks (0 = only at the end)")
+		noSync    = flag.Bool("no-sync", false, "skip the initial status sync (rely on duplicate acks alone)")
+		noCkpt    = flag.Bool("no-final-checkpoint", false, "skip the final flush+checkpoint")
+		maxLine   = flag.Int("max-line-bytes", 0, "reject stdin lines beyond this many bytes (0 = unlimited)")
+		showVer   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	version.PrintAndExitIf(*showVer, "demon-feed", os.Exit, os.Stdout)
+	logger := log.Default()
+	if *ns == "" {
+		logger.Error("demon-feed: -ns is required")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	f, err := client.New(client.Config{
+		BaseURL:        *url,
+		Namespace:      *ns,
+		RequestTimeout: *timeout,
+		MaxAttempts:    *attempts,
+		BatchSize:      *batch,
+	})
+	if err != nil {
+		logger.Error("demon-feed: bad config", "err", err)
+		os.Exit(2)
+	}
+	if !*noSync {
+		if err := f.Sync(ctx); err != nil {
+			logger.Error("demon-feed: initial sync failed", "url", *url, "ns", *ns, "err", err)
+			os.Exit(1)
+		}
+	}
+
+	dec := blockio.NewLineDecoder(os.Stdin, *maxLine)
+	start := time.Now()
+	var read int64
+	for {
+		b, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			logger.Error("demon-feed: reading stdin", "block", read+1, "err", err)
+			os.Exit(1)
+		}
+		read++
+		for {
+			err := f.Send(ctx, b)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, client.ErrBreakerOpen) {
+				// The breaker fails fast; the stream has nowhere else to
+				// go, so wait out the cooldown and probe again.
+				logger.Warn("demon-feed: circuit breaker open; waiting", "ns", *ns)
+				select {
+				case <-time.After(time.Second):
+					continue
+				case <-ctx.Done():
+					logger.Error("demon-feed: interrupted", "err", ctx.Err())
+					os.Exit(1)
+				}
+			}
+			logger.Error("demon-feed: send failed", "block", read, "err", err)
+			os.Exit(1)
+		}
+		if n := *ckptEvery; n > 0 && read%int64(n) == 0 {
+			if err := f.Checkpoint(ctx); err != nil {
+				logger.Error("demon-feed: periodic checkpoint failed", "block", read, "err", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if err := f.Flush(ctx); err != nil {
+		logger.Error("demon-feed: final flush failed", "err", err)
+		os.Exit(1)
+	}
+	if !*noCkpt {
+		if err := f.Checkpoint(ctx); err != nil {
+			logger.Error("demon-feed: final checkpoint failed", "err", err)
+			os.Exit(1)
+		}
+	}
+	st := f.Stats()
+	logger.Info("demon-feed: done",
+		"read", read, "sent", st.Sent, "duplicates", st.Duplicates,
+		"retries", st.Retries, "resyncs", st.Resyncs, "breaker_opens", st.BreakerOpens,
+		"elapsed", time.Since(start).String())
+	fmt.Fprintf(os.Stdout, "{\"read\":%d,\"sent\":%d,\"duplicates\":%d,\"retries\":%d,\"resyncs\":%d}\n",
+		read, st.Sent, st.Duplicates, st.Retries, st.Resyncs)
+}

@@ -16,12 +16,18 @@
 //	curl -X POST localhost:8080/v1/namespaces \
 //	     -d '{"name":"retail","kind":"itemset","min_support":0.01,"strategy":"ecut"}'
 //	demon-datagen -kind tx -format ndjson -dir - |
-//	     curl -X POST --data-binary @- localhost:8080/v1/namespaces/retail/blocks
+//	     demon-feed -url http://localhost:8080 -ns retail
 //	curl 'localhost:8080/v1/namespaces/retail/itemsets?top=10'
 //
 // Ingestion is backpressured: when a namespace's bounded queue is full the
 // server answers 429 with a jittered Retry-After hint and the count of
 // blocks it did accept, and the client resumes the stream from there.
+// Sequenced streams (demon-feed's default) get exactly-once semantics:
+// duplicates are acknowledged as no-ops, gaps rejected. The server is
+// hardened against slow and hostile clients: http.Server timeouts
+// (-http-*-timeout), a request body cap (-max-ingest-bytes) and a per-block
+// line cap (-max-line-bytes) answering 413, and sticky-failed namespaces
+// reopen themselves from their stores with capped backoff.
 //
 // Requests carrying an X-Demon-Trace-Id header are traced end to end (HTTP
 // handler, queue wait, miner AddBlock, transaction commit) and retrievable
@@ -43,7 +49,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,10 +61,18 @@ import (
 )
 
 func main() {
+	defTimeouts := serve.DefaultHTTPTimeouts()
 	root := flag.String("root", "demon-serve-state", "directory holding one store per namespace")
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "default per-namespace ingest queue bound")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown may spend draining queues and checkpointing")
+	maxIngestBytes := flag.Int64("max-ingest-bytes", serve.DefaultMaxIngestBytes, "cap one ingest request body (413 beyond; negative = unlimited)")
+	maxLineBytes := flag.Int("max-line-bytes", serve.DefaultMaxLineBytes, "cap one NDJSON block line (413 beyond; negative = unlimited)")
+	reopenBackoff := flag.Duration("reopen-backoff", serve.DefaultReopenBackoff, "base delay before a sticky-failed namespace reopens from its store (negative = disabled)")
+	readHeaderTimeout := flag.Duration("http-read-header-timeout", defTimeouts.ReadHeader, "http.Server ReadHeaderTimeout (Slowloris guard)")
+	readTimeout := flag.Duration("http-read-timeout", defTimeouts.Read, "http.Server ReadTimeout (whole request, streamed ingest body included)")
+	writeTimeout := flag.Duration("http-write-timeout", defTimeouts.Write, "http.Server WriteTimeout (whole response)")
+	idleTimeout := flag.Duration("http-idle-timeout", defTimeouts.Idle, "http.Server IdleTimeout (keep-alive connections between requests)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	logCLI := log.RegisterFlags(flag.CommandLine)
@@ -72,15 +85,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*root, *addr, *queueDepth, *drainTimeout, *metricsOut); err != nil {
+	cfg := serve.Config{
+		Root:           *root,
+		QueueDepth:     *queueDepth,
+		MaxIngestBytes: *maxIngestBytes,
+		MaxLineBytes:   *maxLineBytes,
+		ReopenBackoff:  *reopenBackoff,
+	}
+	timeouts := serve.HTTPTimeouts{
+		ReadHeader: *readHeaderTimeout,
+		Read:       *readTimeout,
+		Write:      *writeTimeout,
+		Idle:       *idleTimeout,
+	}
+	if err := run(cfg, timeouts, *addr, *drainTimeout, *metricsOut); err != nil {
 		log.Default().Error("fatal", "err", err.Error())
 		fmt.Fprintln(os.Stderr, "demon-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(root, addr string, queueDepth int, drainTimeout time.Duration, metricsOut string) error {
-	srv, err := serve.New(serve.Config{Root: root, QueueDepth: queueDepth})
+func run(cfg serve.Config, timeouts serve.HTTPTimeouts, addr string, drainTimeout time.Duration, metricsOut string) error {
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -92,10 +118,10 @@ func run(root, addr string, queueDepth int, drainTimeout time.Duration, metricsO
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := timeouts.Server(addr, srv.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	log.Default().Info("listening", "addr", ln.Addr().String(), "root", root)
+	log.Default().Info("listening", "addr", ln.Addr().String(), "root", cfg.Root)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

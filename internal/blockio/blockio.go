@@ -1,13 +1,22 @@
 // Package blockio is the NDJSON block-stream wire format shared by
-// demon-datagen and demon-serve: one JSON object per line, one block per
-// object. A transaction block is {"txs": [[1,2,3],[2,4]]}; a point block is
-// {"points": [[0.1,0.2],[1.2,0.3]]}. Blocks arrive in ingestion order, so a
-// stream is exactly the systematically evolving database of the paper — a
-// generator can pipe blocks straight into a resident server.
+// demon-datagen, demon-feed and demon-serve: one JSON object per line, one
+// block per object. A transaction block is {"txs": [[1,2,3],[2,4]]}; a point
+// block is {"points": [[0.1,0.2],[1.2,0.3]]}. Blocks arrive in ingestion
+// order, so a stream is exactly the systematically evolving database of the
+// paper — a generator can pipe blocks straight into a resident server.
+//
+// A block may additionally carry a per-namespace monotonic sequence number
+// ({"seq": 7, "txs": ...}). Sequence numbers start at 1 and increase by one
+// per block; they let the server acknowledge re-sent duplicates as no-ops
+// and reject gaps, which is what makes retrying an ambiguously failed send
+// safe (see internal/serve and internal/client).
 package blockio
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -15,8 +24,15 @@ import (
 	"github.com/demon-mining/demon/internal/itemset"
 )
 
+// ErrLineTooLong reports an NDJSON line exceeding a LineDecoder's cap.
+var ErrLineTooLong = errors.New("blockio: NDJSON line exceeds the configured maximum length")
+
 // Block is one block of a stream: exactly one of Txs or Points is set.
 type Block struct {
+	// Seq is the block's optional sequence number within its namespace's
+	// stream; zero means unsequenced. Sequenced streams start at 1 and
+	// increase by exactly one per block.
+	Seq uint64 `json:"seq,omitempty"`
 	// Txs is a transaction block: one item-id list per transaction.
 	Txs [][]int32 `json:"txs,omitempty"`
 	// Points is a point block: one coordinate list per point.
@@ -100,16 +116,18 @@ func (b Block) CFPoints() []cf.Point {
 
 // MarshalJSON emits exactly the one payload field that is set, so an empty
 // transaction block round-trips as {"txs":[]} instead of being collapsed to
-// an invalid {} by omitempty.
+// an invalid {} by omitempty. The sequence number is emitted only when set.
 func (b Block) MarshalJSON() ([]byte, error) {
 	if b.Txs != nil {
 		return json.Marshal(struct {
+			Seq uint64    `json:"seq,omitempty"`
 			Txs [][]int32 `json:"txs"`
-		}{b.Txs})
+		}{b.Seq, b.Txs})
 	}
 	return json.Marshal(struct {
+		Seq    uint64      `json:"seq,omitempty"`
 		Points [][]float64 `json:"points"`
-	}{b.Points})
+	}{b.Seq, b.Points})
 }
 
 // Encoder writes a block stream, one JSON object per line.
@@ -158,6 +176,64 @@ func (d *Decoder) Next() (Block, error) {
 		return b, fmt.Errorf("blockio: block %d: %w", d.n, err)
 	}
 	return b, nil
+}
+
+// LineDecoder reads a block stream one line at a time with a hard cap on
+// the line length, so a hostile or misbehaving client cannot make the
+// server buffer an unbounded JSON token. Unlike Decoder it enforces the
+// strict NDJSON shape: exactly one JSON object per newline-terminated line
+// (blank lines are skipped). A line over the cap fails with ErrLineTooLong.
+type LineDecoder struct {
+	sc  *bufio.Scanner
+	n   int
+	max int
+}
+
+// NewLineDecoder returns a LineDecoder reading from r with lines capped at
+// maxLine bytes (a non-positive cap selects bufio.MaxScanTokenSize).
+func NewLineDecoder(r io.Reader, maxLine int) *LineDecoder {
+	if maxLine <= 0 {
+		maxLine = bufio.MaxScanTokenSize
+	}
+	sc := bufio.NewScanner(r)
+	initial := 64 * 1024
+	if maxLine < initial {
+		initial = maxLine
+	}
+	sc.Buffer(make([]byte, initial), maxLine)
+	return &LineDecoder{sc: sc, max: maxLine}
+}
+
+// Next returns the next block of the stream, or io.EOF at its end.
+func (d *LineDecoder) Next() (Block, error) {
+	var b Block
+	for d.sc.Scan() {
+		line := bytes.TrimSpace(d.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		d.n++
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&b); err != nil {
+			return b, fmt.Errorf("blockio: block %d: %w", d.n, err)
+		}
+		// Anything after the object on the same line is a framing error.
+		if dec.More() {
+			return b, fmt.Errorf("blockio: block %d: trailing data after the JSON object", d.n)
+		}
+		if err := b.Validate(); err != nil {
+			return b, fmt.Errorf("blockio: block %d: %w", d.n, err)
+		}
+		return b, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return b, fmt.Errorf("%w (cap %d bytes, around block %d)", ErrLineTooLong, d.max, d.n+1)
+		}
+		return b, fmt.Errorf("blockio: reading block %d: %w", d.n+1, err)
+	}
+	return b, io.EOF
 }
 
 // ReadAll decodes the whole stream.

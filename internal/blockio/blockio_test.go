@@ -2,6 +2,7 @@ package blockio
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -65,5 +66,68 @@ func TestDecoderStopsAtEOF(t *testing.T) {
 	d := NewDecoder(strings.NewReader("")) // empty stream
 	if _, err := d.Next(); err != io.EOF {
 		t.Fatalf("Next on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestSeqRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	b := TxBlock([][]itemset.Item{{1, 2}})
+	b.Seq = 7
+	if err := enc.Encode(b); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	p := PointBlock([]cf.Point{{1, 2}})
+	p.Seq = 8
+	if err := enc.Encode(p); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := enc.Encode(TxBlock(nil)); err != nil { // unsequenced stays seq-less
+		t.Fatalf("encode: %v", err)
+	}
+	wire := buf.String()
+	if !strings.Contains(wire, `"seq":7`) || !strings.Contains(wire, `"seq":8`) {
+		t.Fatalf("sequence numbers missing from wire: %s", wire)
+	}
+	if strings.Count(wire, `"seq"`) != 2 {
+		t.Fatalf("unsequenced block grew a seq field: %s", wire)
+	}
+	got, err := ReadAll(strings.NewReader(wire))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got[0].Seq != 7 || got[1].Seq != 8 || got[2].Seq != 0 {
+		t.Fatalf("seqs = %d %d %d, want 7 8 0", got[0].Seq, got[1].Seq, got[2].Seq)
+	}
+}
+
+func TestLineDecoder(t *testing.T) {
+	in := "{\"seq\":1,\"txs\":[[1,2]]}\n\n{\"points\":[[0.5]]}\n"
+	d := NewLineDecoder(strings.NewReader(in), 1024)
+	b1, err := d.Next()
+	if err != nil || b1.Seq != 1 || b1.Kind() != "tx" {
+		t.Fatalf("first block = %+v, %v", b1, err)
+	}
+	b2, err := d.Next()
+	if err != nil || b2.Kind() != "points" {
+		t.Fatalf("second block = %+v, %v", b2, err)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("Next past end = %v, want io.EOF", err)
+	}
+}
+
+func TestLineDecoderCapsLineLength(t *testing.T) {
+	long := `{"txs":[[` + strings.Repeat("1,", 4000) + `1]]}`
+	d := NewLineDecoder(strings.NewReader(long+"\n"), 256)
+	if _, err := d.Next(); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("oversized line = %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestLineDecoderRejectsTrailingData(t *testing.T) {
+	d := NewLineDecoder(strings.NewReader(`{"txs":[[1]]} {"txs":[[2]]}`+"\n"), 1024)
+	if _, err := d.Next(); err == nil {
+		t.Fatalf("two objects on one line decoded without error")
 	}
 }

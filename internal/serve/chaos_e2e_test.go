@@ -1,0 +1,211 @@
+package serve
+
+// The headline resilience test of ISSUE 8: the full exactly-once pipeline —
+// demon-feed's client, the chaos proxy, and the hardened server — driven
+// through every fault class the proxy injects (reset, torn close, stall,
+// latency) plus a server drain/restart fired in the middle of a retry storm.
+// The store the chaotic run leaves behind must be SHA-256-identical to the
+// store of a fault-free run over the same blocks: no dropped block, no
+// double-ingested block, no torn bytes.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/demon-mining/demon/internal/blockio"
+	"github.com/demon-mining/demon/internal/chaos"
+	"github.com/demon-mining/demon/internal/client"
+	"github.com/demon-mining/demon/internal/itemset"
+)
+
+// chaosSpec is the namespace both runs feed.
+func chaosSpec() Spec {
+	return Spec{Name: "tx", Kind: KindItemset, MinSupport: e2eMinSupport,
+		Strategy: "ecut", Workers: e2eWorkers, QueueDepth: 4}
+}
+
+// feedAll streams every block through f, then flushes and checkpoints.
+func feedAll(ctx context.Context, t *testing.T, f *client.Feeder, blocks [][][]itemset.Item) {
+	t.Helper()
+	for i, rows := range blocks {
+		if err := f.Send(ctx, blockio.TxBlock(rows)); err != nil {
+			t.Fatalf("send block %d: %v", i+1, err)
+		}
+	}
+	if err := f.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := f.Checkpoint(ctx); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+}
+
+// chaosReferenceDigest is the fault-free run: the same feeder against a
+// direct listener, no proxy, no faults, no restart.
+func chaosReferenceDigest(ctx context.Context, t *testing.T, blocks [][][]itemset.Item) string {
+	t.Helper()
+	s := mustServer(t, t.TempDir())
+	if _, err := s.Create(chaosSpec()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	f, err := client.New(client.Config{BaseURL: ts.URL, Namespace: "tx", BatchSize: 2})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	feedAll(ctx, t, f, blocks)
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	n, _ := s.Namespace("tx")
+	if int(n.T()) != len(blocks) {
+		t.Fatalf("reference run ended at T=%d, want %d", n.T(), len(blocks))
+	}
+	return storeDigest(t, n.Store())
+}
+
+func TestChaosExactlyOnceDigest(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	blocks := e2eTxData(t)
+	want := chaosReferenceDigest(ctx, t, blocks)
+
+	root := t.TempDir()
+	s := mustServer(t, root)
+	if _, err := s.Create(chaosSpec()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	proxy, err := chaos.New("127.0.0.1:0", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatalf("chaos proxy: %v", err)
+	}
+	defer proxy.Close()
+
+	// Mid-retry drain/restart: armed before one of the reset faults, it runs
+	// inside the feeder's backoff sleep — exactly the window where the client
+	// is unsure whether its last batch landed. The drained server checkpoints
+	// what it accepted; the restarted one recovers the sequence marks from
+	// the store; the proxy is repointed at the new listener; the client's
+	// retry then gets duplicates acked for whatever had landed and ingests
+	// the rest. Nothing dropped, nothing double-counted.
+	var restartArmed atomic.Bool
+	restart := func() {
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("mid-retry drain: %v", err)
+		}
+		ts.Close()
+		s = mustServer(t, root)
+		n, ok := s.Namespace("tx")
+		if !ok {
+			t.Error("restart lost the namespace")
+		} else if n.T() == 0 {
+			t.Error("restart lost all drained blocks")
+		}
+		ts = httptest.NewServer(s.Handler())
+		proxy.SetUpstream(strings.TrimPrefix(ts.URL, "http://"))
+	}
+
+	f, err := client.New(client.Config{
+		BaseURL:   "http://" + proxy.Addr(),
+		Namespace: "tx",
+		// Fresh connection per request, so each attempt picks up the toxics
+		// armed for it — the proxy snapshots toxics at accept time.
+		HTTPClient:     &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		BatchSize:      2,
+		MaxAttempts:    12,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffCap:     20 * time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+		// The breaker is exercised by the client package's own tests; here it
+		// would only slow the deterministic heal-on-backoff cycle down.
+		BreakerThreshold: -1,
+		Rand:             func() float64 { return 1 },
+		// Every backoff heals the proxy (and fires the one armed restart), so
+		// each injected fault breaks exactly the in-flight attempt and the
+		// retry path gets to prove it converges.
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if restartArmed.CompareAndSwap(true, false) {
+				restart()
+			}
+			proxy.Set(chaos.Toxics{})
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if err := f.Sync(ctx); err != nil {
+		t.Fatalf("initial sync: %v", err)
+	}
+
+	// Fault schedule, keyed by 1-based block index and armed just before the
+	// send that triggers the flush of that block's batch (BatchSize 2 flushes
+	// on even sends). Byte offsets land inside the request headers or the
+	// NDJSON body, so the fault tears a real ingest POST.
+	faults := map[int]chaos.Toxics{
+		2:  {ResetAfter: 256},
+		4:  {CloseAfter: 700},
+		6:  {StallAfter: 400, StallFor: 25 * time.Millisecond},
+		8:  {ResetAfter: 128},
+		10: {Latency: 2 * time.Millisecond},
+	}
+	for i, rows := range blocks {
+		if tox, ok := faults[i+1]; ok {
+			proxy.Set(tox)
+			if i+1 == 8 {
+				restartArmed.Store(true)
+			}
+		}
+		if err := f.Send(ctx, blockio.TxBlock(rows)); err != nil {
+			t.Fatalf("send block %d: %v", i+1, err)
+		}
+		if i+1 == 10 {
+			// A checkpoint through the proxy: trims the replay buffer to the
+			// durable mark while faults are still in rotation.
+			if err := f.Checkpoint(ctx); err != nil {
+				t.Fatalf("mid-stream checkpoint: %v", err)
+			}
+		}
+	}
+	if err := f.Flush(ctx); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	if err := f.Checkpoint(ctx); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+	ts.Close()
+
+	n, _ := s.Namespace("tx")
+	if int(n.T()) != len(blocks) {
+		t.Fatalf("chaotic run ended at T=%d, want %d", n.T(), len(blocks))
+	}
+	if acc, app, dur := n.Seq(); int(acc) != len(blocks) || int(app) != len(blocks) || int(dur) != len(blocks) {
+		t.Fatalf("seq marks (%d, %d, %d), want all %d", acc, app, dur, len(blocks))
+	}
+	if got := storeDigest(t, n.Store()); got != want {
+		t.Errorf("chaotic store diverges from the fault-free run:\n got %s\nwant %s", got, want)
+	}
+
+	// The run must actually have been chaotic: faults fired, retries happened.
+	resets, closes, stalls := proxy.Injected()
+	if resets == 0 || closes == 0 {
+		t.Errorf("proxy injected resets=%d closes=%d stalls=%d — the fault schedule never fired", resets, closes, stalls)
+	}
+	if st := f.Stats(); st.Retries == 0 {
+		t.Errorf("feeder never retried (%+v) — the chaos run was not chaotic", st)
+	} else {
+		t.Logf("chaos stats: feeder %+v; proxy resets=%d closes=%d stalls=%d", st, resets, closes, stalls)
+	}
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPTimeouts are the http.Server timeouts demon-serve runs with. A bare
+// http.Server has none, which lets one slow or stalled client hold a
+// connection (and its goroutine) forever — exactly the failure mode the
+// chaos proxy injects. The read/write timeouts are generous because ingest
+// requests legitimately stream multi-hundred-MB NDJSON bodies; the
+// header timeout is tight because headers never are.
+type HTTPTimeouts struct {
+	// ReadHeader bounds reading a request's headers (Slowloris guard).
+	ReadHeader time.Duration
+	// Read bounds reading an entire request, streamed ingest body included.
+	Read time.Duration
+	// Write bounds writing an entire response.
+	Write time.Duration
+	// Idle bounds how long a keep-alive connection may sit between requests.
+	Idle time.Duration
+}
+
+// DefaultHTTPTimeouts returns the production defaults.
+func DefaultHTTPTimeouts() HTTPTimeouts {
+	return HTTPTimeouts{
+		ReadHeader: 5 * time.Second,
+		Read:       5 * time.Minute,
+		Write:      5 * time.Minute,
+		Idle:       2 * time.Minute,
+	}
+}
+
+// Server builds an http.Server on addr serving h with the timeouts applied.
+func (t HTTPTimeouts) Server(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}

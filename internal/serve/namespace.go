@@ -39,12 +39,16 @@ var (
 // enqueue time, so the worker can record the enqueue→dequeue wait into the
 // request's trace and apply the block under the same trace — the queue hop
 // is where the context.Context chain breaks, and this is the bridge across
-// it.
+// it. The epoch stamps which model generation admitted the entry: a reopen
+// bumps the namespace epoch, and the worker discards entries from earlier
+// generations instead of applying them to a model that no longer expects
+// their position.
 type queued struct {
 	block      blockio.Block
 	flush      chan error
 	checkpoint bool
 
+	epoch    uint64
 	sc       obs.SpanContext
 	enqueued time.Time
 }
@@ -92,11 +96,143 @@ func (a *ageTracker) oldestAge(now time.Time) time.Duration {
 	return now.Sub(a.ts[0])
 }
 
+// model is one generation of a namespace's resident miner. Exactly one
+// field is non-nil, per the spec kind. It lives behind an atomic pointer on
+// the Namespace so auto-reopen can swap in a freshly resumed generation
+// while query handlers keep reading the old one without locks.
+type model struct {
+	itemset *demon.ItemsetMiner
+	window  *demon.ItemsetWindowMiner
+	cluster *demon.ClusterMiner
+	monitor *monitorModel
+}
+
+// T returns the identifier of the latest applied block.
+func (m *model) T() demon.BlockID {
+	switch {
+	case m.itemset != nil:
+		return m.itemset.T()
+	case m.window != nil:
+		return m.window.T()
+	case m.cluster != nil:
+		return m.cluster.T()
+	default:
+		return m.monitor.T()
+	}
+}
+
+// apply feeds one block to the resident miner — each call is one atomic
+// store transaction (PR 3): after a crash the store holds all of the
+// block's writes or none. ctx carries the ingest request's span context
+// across the queue hop.
+func (m *model) apply(ctx context.Context, b blockio.Block) error {
+	switch {
+	case m.itemset != nil:
+		_, err := m.itemset.AddBlockCtx(ctx, b.Items())
+		return err
+	case m.window != nil:
+		_, err := m.window.AddBlockCtx(ctx, b.Items())
+		return err
+	case m.cluster != nil:
+		_, err := m.cluster.AddBlockCtx(ctx, b.CFPoints())
+		return err
+	default:
+		return m.monitor.AddBlockCtx(ctx, b.Items())
+	}
+}
+
+// checkpoint persists the resident model through the store's transaction
+// layer. The monitor kind checkpoints implicitly — its durable state is the
+// per-block history written inside each AddBlock transaction.
+func (m *model) checkpoint() error {
+	switch {
+	case m.itemset != nil:
+		return m.itemset.Checkpoint()
+	case m.window != nil:
+		return m.window.Checkpoint()
+	case m.cluster != nil:
+		return m.cluster.Checkpoint()
+	default:
+		return nil
+	}
+}
+
+// openModel creates or resumes one model generation over the store via the
+// Resume* recovery paths, wires hook into every block transaction, and
+// reconciles the persisted sequence record with the position the model
+// restored to.
+func openModel(store demon.Store, spec Spec, hook func(demon.Store, demon.BlockID) error) (*model, uint64, error) {
+	m := &model{}
+	var err error
+	switch spec.Kind {
+	case KindItemset:
+		strategy, _ := parseStrategy(spec.Strategy)
+		m.itemset, err = demon.ResumeItemsetMiner(demon.ItemsetMinerConfig{
+			MinSupport:          spec.MinSupport,
+			Strategy:            strategy,
+			Store:               store,
+			BSS:                 spec.bss(),
+			Workers:             spec.Workers,
+			AutoCheckpointEvery: spec.CheckpointEvery,
+			TxnHook:             hook,
+		})
+	case KindWindow:
+		strategy, _ := parseStrategy(spec.Strategy)
+		cfg := demon.ItemsetWindowMinerConfig{
+			MinSupport:          spec.MinSupport,
+			Strategy:            strategy,
+			Store:               store,
+			WindowSize:          spec.WindowSize,
+			BSS:                 spec.bss(),
+			Workers:             spec.Workers,
+			AutoCheckpointEvery: spec.CheckpointEvery,
+			TxnHook:             hook,
+		}
+		if spec.WindowRelBSS != "" {
+			rel, perr := demon.ParseWindowRelBSS(spec.WindowRelBSS)
+			if perr != nil {
+				return nil, 0, perr
+			}
+			cfg.WindowRelBSS = rel
+			cfg.WindowSize = 0
+		}
+		m.window, err = demon.ResumeItemsetWindowMiner(cfg)
+	case KindCluster:
+		m.cluster, err = demon.ResumeClusterMiner(demon.ClusterMinerConfig{
+			K:                   spec.K,
+			Store:               store,
+			BSS:                 spec.bss(),
+			Workers:             spec.Workers,
+			AutoCheckpointEvery: spec.CheckpointEvery,
+			TxnHook:             hook,
+		})
+	case KindMonitor:
+		m.monitor, err = resumeMonitor(store, spec)
+		if err == nil {
+			m.monitor.txnHook = hook
+		}
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	highwater, err := recoverSeq(store, m.T())
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, highwater, nil
+}
+
 // Namespace is one resident model: a durable store, a miner created or
 // resumed over it, and a bounded ingest queue applied by a single worker
 // goroutine — AddBlock mutators must not race, so the worker is the
 // namespace's only mutator while queries read concurrently through the
 // miners' RWMutex read surfaces.
+//
+// Sequencing state lives at three levels of durability: seqAccepted (the
+// admission high-water mark, guarded by mu), seqApplied (committed to the
+// store by the worker), and seqDurable (covered by a checkpoint — the only
+// mark that survives a crash with certainty, and therefore the only one a
+// client may trim its replay buffer to).
 type Namespace struct {
 	spec Spec
 	dir  string
@@ -106,23 +242,36 @@ type Namespace struct {
 	queue chan queued
 	done  chan struct{}
 
-	// mu guards draining and err; senders tracks in-flight queue sends so
-	// drain can close the queue without racing them.
-	mu       sync.Mutex
-	draining bool
-	err      error
-	senders  sync.WaitGroup
+	// reopenBackoff is the base delay of the auto-reopen loop; <= 0
+	// disables automatic recovery from sticky failures.
+	reopenBackoff time.Duration
 
-	// Exactly one of the following is non-nil, per spec.Kind.
-	itemset *demon.ItemsetMiner
-	window  *demon.ItemsetWindowMiner
-	cluster *demon.ClusterMiner
-	monitor *monitorModel
+	// mu guards draining, err, seqAccepted, and epoch; senders tracks
+	// in-flight blocking Flush sends so drain can close the queue without
+	// racing them (Enqueue sends hold mu, which the closer also takes).
+	mu          sync.Mutex
+	draining    bool
+	err         error
+	senders     sync.WaitGroup
+	seqAccepted uint64
+	epoch       uint64
 
-	accepted atomic.Int64
-	applied  atomic.Int64
-	rejected atomic.Int64
-	failed   atomic.Int64
+	// mdl is the current model generation; handlers load it without locks.
+	mdl atomic.Pointer[model]
+
+	// pendingSeq carries the sequence number of the block being applied
+	// from the worker to the TxnHook running inside the miner's
+	// transaction; 0 while no sequenced block is in flight.
+	pendingSeq atomic.Uint64
+	seqApplied atomic.Uint64
+	seqDurable atomic.Uint64
+
+	accepted   atomic.Int64
+	applied    atomic.Int64
+	rejected   atomic.Int64
+	failed     atomic.Int64
+	duplicates atomic.Int64
+	reopens    atomic.Int64
 
 	ages ageTracker
 }
@@ -131,7 +280,7 @@ type Namespace struct {
 // store stack over dir/store and the miner via the Resume* paths, which
 // recover interrupted transactions and restore the last checkpoint — a
 // server killed mid-block reopens exactly at its last durable state.
-func openNamespace(dir string, spec Spec, queueDepth int) (*Namespace, error) {
+func openNamespace(dir string, spec Spec, queueDepth int, reopenBackoff time.Duration) (*Namespace, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,59 +295,35 @@ func openNamespace(dir string, spec Spec, queueDepth int) (*Namespace, error) {
 		return nil, err
 	}
 	n := &Namespace{
-		spec:  spec,
-		dir:   dir,
-		store: store,
-		queue: make(chan queued, queueDepth),
-		done:  make(chan struct{}),
+		spec:          spec,
+		dir:           dir,
+		store:         store,
+		queue:         make(chan queued, queueDepth),
+		done:          make(chan struct{}),
+		reopenBackoff: reopenBackoff,
 	}
-	switch spec.Kind {
-	case KindItemset:
-		strategy, _ := parseStrategy(spec.Strategy)
-		n.itemset, err = demon.ResumeItemsetMiner(demon.ItemsetMinerConfig{
-			MinSupport:          spec.MinSupport,
-			Strategy:            strategy,
-			Store:               store,
-			BSS:                 spec.bss(),
-			Workers:             spec.Workers,
-			AutoCheckpointEvery: spec.CheckpointEvery,
-		})
-	case KindWindow:
-		strategy, _ := parseStrategy(spec.Strategy)
-		cfg := demon.ItemsetWindowMinerConfig{
-			MinSupport:          spec.MinSupport,
-			Strategy:            strategy,
-			Store:               store,
-			WindowSize:          spec.WindowSize,
-			BSS:                 spec.bss(),
-			Workers:             spec.Workers,
-			AutoCheckpointEvery: spec.CheckpointEvery,
-		}
-		if spec.WindowRelBSS != "" {
-			rel, perr := demon.ParseWindowRelBSS(spec.WindowRelBSS)
-			if perr != nil {
-				return nil, perr
-			}
-			cfg.WindowRelBSS = rel
-			cfg.WindowSize = 0
-		}
-		n.window, err = demon.ResumeItemsetWindowMiner(cfg)
-	case KindCluster:
-		n.cluster, err = demon.ResumeClusterMiner(demon.ClusterMinerConfig{
-			K:                   spec.K,
-			Store:               store,
-			BSS:                 spec.bss(),
-			Workers:             spec.Workers,
-			AutoCheckpointEvery: spec.CheckpointEvery,
-		})
-	case KindMonitor:
-		n.monitor, err = resumeMonitor(store, spec)
-	}
+	m, highwater, err := openModel(store, spec, n.txnHook)
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening namespace %s: %w", spec.Name, err)
 	}
+	n.mdl.Store(m)
+	n.seqAccepted = highwater
+	n.seqApplied.Store(highwater)
+	n.seqDurable.Store(highwater)
 	go n.run()
 	return n, nil
+}
+
+// txnHook runs inside every block transaction, persisting the (seq, t)
+// record atomically with the block itself. Unsequenced blocks write
+// nothing, so an unsequenced namespace's store stays byte-identical to a
+// plain miner run over the same stream.
+func (n *Namespace) txnHook(store demon.Store, id demon.BlockID) error {
+	seq := n.pendingSeq.Load()
+	if seq == 0 {
+		return nil
+	}
+	return putSeqMeta(store, seq, id)
 }
 
 // Spec returns the namespace's configuration.
@@ -207,23 +332,27 @@ func (n *Namespace) Spec() Spec { return n.spec }
 // Store exposes the namespace's store (read-only use: digests, stats).
 func (n *Namespace) Store() demon.Store { return n.store }
 
+// m returns the current model generation.
+func (n *Namespace) m() *model { return n.mdl.Load() }
+
 // T returns the identifier of the latest applied block.
-func (n *Namespace) T() demon.BlockID {
-	switch {
-	case n.itemset != nil:
-		return n.itemset.T()
-	case n.window != nil:
-		return n.window.T()
-	case n.cluster != nil:
-		return n.cluster.T()
-	default:
-		return n.monitor.T()
-	}
+func (n *Namespace) T() demon.BlockID { return n.m().T() }
+
+// Seq returns the namespace's sequencing marks: the admission high-water
+// mark (the next block must carry seq accepted+1), the last sequence
+// committed to the store, and the last covered by a checkpoint (the
+// client's safe trim point).
+func (n *Namespace) Seq() (accepted, applied, durable uint64) {
+	n.mu.Lock()
+	accepted = n.seqAccepted
+	n.mu.Unlock()
+	return accepted, n.seqApplied.Load(), n.seqDurable.Load()
 }
 
 // Err returns the sticky ingest failure, if any. Once a block transaction
-// fails the namespace refuses further ingestion (the underlying miner is
-// unusable until resumed); queries keep serving the last good model.
+// fails the namespace refuses further ingestion until the auto-reopen loop
+// resumes a fresh model generation from the store (or the server restarts);
+// queries keep serving the last good model meanwhile.
 func (n *Namespace) Err() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -238,7 +367,8 @@ func (n *Namespace) QueueDepth() (depth, capacity int) {
 // Enqueue offers one block to the ingest queue without blocking: a full
 // queue is backpressure (ErrQueueFull), a draining namespace rejects intake
 // (ErrDraining), and a payload of the wrong kind is refused before it can
-// poison the worker (ErrWrongKind).
+// poison the worker (ErrWrongKind). Sequenced blocks additionally pass
+// duplicate/gap admission (ErrDuplicate, ErrSeqGap, ErrUnsequenced).
 func (n *Namespace) Enqueue(b blockio.Block) error {
 	return n.EnqueueCtx(context.Background(), b)
 }
@@ -246,6 +376,11 @@ func (n *Namespace) Enqueue(b blockio.Block) error {
 // EnqueueCtx is Enqueue carrying the ingest request's context: when ctx
 // belongs to a sampled trace, the block's queue wait and its application by
 // the worker record into that trace even though they outlive the request.
+//
+// Admission and the queue send happen under one mu hold, so concurrent
+// requests cannot interleave two in-order sequenced blocks into the queue
+// out of order, and a block's seq is reserved if and only if it was
+// actually enqueued.
 func (n *Namespace) EnqueueCtx(ctx context.Context, b blockio.Block) error {
 	if txPayload := b.Txs != nil; txPayload != n.spec.txKind() {
 		n.rejected.Add(1)
@@ -263,17 +398,33 @@ func (n *Namespace) EnqueueCtx(ctx context.Context, b blockio.Block) error {
 		n.rejected.Add(1)
 		return err
 	}
-	n.senders.Add(1)
-	n.mu.Unlock()
-	defer n.senders.Done()
+	switch next := n.seqAccepted + 1; {
+	case b.Seq == 0 && n.seqAccepted > 0:
+		n.mu.Unlock()
+		n.rejected.Add(1)
+		return fmt.Errorf("%w: namespace %s expects seq %d", ErrUnsequenced, n.spec.Name, next)
+	case b.Seq != 0 && b.Seq < next:
+		n.mu.Unlock()
+		n.duplicates.Add(1)
+		return fmt.Errorf("%w: seq %d already accepted by namespace %s (next %d)", ErrDuplicate, b.Seq, n.spec.Name, next)
+	case b.Seq > next:
+		n.mu.Unlock()
+		n.rejected.Add(1)
+		return fmt.Errorf("%w: namespace %s got seq %d, wants %d", ErrSeqGap, n.spec.Name, b.Seq, next)
+	}
 
-	entry := queued{block: b, sc: obs.SpanContextFrom(ctx), enqueued: time.Now()}
+	entry := queued{block: b, epoch: n.epoch, sc: obs.SpanContextFrom(ctx), enqueued: time.Now()}
 	select {
 	case n.queue <- entry:
+		if b.Seq != 0 {
+			n.seqAccepted = b.Seq
+		}
 		n.accepted.Add(1)
 		n.ages.push(entry.enqueued)
+		n.mu.Unlock()
 		return nil
 	default:
+		n.mu.Unlock()
 		n.rejected.Add(1)
 		return ErrQueueFull
 	}
@@ -316,11 +467,14 @@ func (n *Namespace) Drain(ctx context.Context) error {
 	n.mu.Lock()
 	if !n.draining {
 		n.draining = true
-		// Close the queue only after every in-flight Enqueue/Flush send has
-		// finished — they checked draining before registering.
+		// Close the queue only after every in-flight blocking Flush send has
+		// finished (they checked draining before registering); Enqueue sends
+		// hold mu, which the closer takes too.
 		go func() {
 			n.senders.Wait()
+			n.mu.Lock()
 			close(n.queue)
+			n.mu.Unlock()
 		}()
 	}
 	n.mu.Unlock()
@@ -355,60 +509,115 @@ func (n *Namespace) run() {
 		obs.Default().Timer("serve.queue.wait.ns").Record(wait)
 		q.sc.RecordSpan("serve.queue.wait.ns", q.enqueued, wait)
 
-		if n.Err() != nil {
+		n.mu.Lock()
+		stale := q.epoch != n.epoch || n.err != nil
+		n.mu.Unlock()
+		if stale {
 			// A poisoned namespace keeps consuming so drain never blocks,
-			// but applies nothing further.
+			// but applies nothing further; entries admitted by an earlier
+			// model generation are likewise dropped — their client was told
+			// to resync when the reopen reset the sequence marks.
 			n.failed.Add(1)
 			continue
 		}
 		ctx := q.sc.Context(context.Background())
-		if err := n.apply(ctx, q.block); err != nil {
+		n.pendingSeq.Store(q.block.Seq)
+		err := n.m().apply(ctx, q.block)
+		n.pendingSeq.Store(0)
+		if err != nil {
 			n.failed.Add(1)
 			n.mu.Lock()
 			n.err = err
 			n.mu.Unlock()
-			log.Default().ErrorCtx(ctx, "block apply failed; namespace now refuses ingestion until resumed",
+			log.Default().ErrorCtx(ctx, "block apply failed; namespace refuses ingestion until reopened",
 				"ns", n.spec.Name, "t", int64(n.T()), "err", err)
+			n.maybeReopen()
 			continue
 		}
 		n.applied.Add(1)
+		if s := q.block.Seq; s != 0 {
+			n.seqApplied.Store(s)
+			// The monitor's durable state is the block history itself, so
+			// every applied block is checkpoint-grade durable; the miner
+			// kinds reach durability at their automatic checkpoints.
+			if n.spec.Kind == KindMonitor {
+				n.seqDurable.Store(s)
+			} else if ce := n.spec.CheckpointEvery; ce > 0 && int64(n.T())%int64(ce) == 0 {
+				n.seqDurable.Store(s)
+			}
+		}
 	}
 }
 
-// apply feeds one block to the resident miner — each call is one atomic
-// store transaction (PR 3): after a crash the store holds all of the
-// block's writes or none. ctx carries the ingest request's span context
-// across the queue hop.
-func (n *Namespace) apply(ctx context.Context, b blockio.Block) error {
-	switch {
-	case n.itemset != nil:
-		_, err := n.itemset.AddBlockCtx(ctx, b.Items())
-		return err
-	case n.window != nil:
-		_, err := n.window.AddBlockCtx(ctx, b.Items())
-		return err
-	case n.cluster != nil:
-		_, err := n.cluster.AddBlockCtx(ctx, b.CFPoints())
-		return err
-	default:
-		return n.monitor.AddBlockCtx(ctx, b.Items())
-	}
-}
-
-// checkpoint persists the resident model through the store's transaction
-// layer. The monitor kind checkpoints implicitly — its durable state is the
-// per-block history written inside each AddBlock transaction.
+// checkpoint persists the model and promotes the applied sequence mark to
+// durable — after this, a crash cannot roll the model behind it.
 func (n *Namespace) checkpoint() error {
-	switch {
-	case n.itemset != nil:
-		return n.itemset.Checkpoint()
-	case n.window != nil:
-		return n.window.Checkpoint()
-	case n.cluster != nil:
-		return n.cluster.Checkpoint()
-	default:
-		return nil
+	if err := n.m().checkpoint(); err != nil {
+		return err
 	}
+	if s := n.seqApplied.Load(); s > n.seqDurable.Load() {
+		n.seqDurable.Store(s)
+	}
+	return nil
+}
+
+// maybeReopen starts the auto-reopen loop after a sticky failure: with
+// capped exponential backoff it resumes a fresh model generation from the
+// store (the same path a server restart takes), swaps it in, and resets the
+// sequence marks to what actually survived — clients then resync and re-send
+// from the recovered position. The loop gives up when the namespace drains.
+func (n *Namespace) maybeReopen() {
+	if n.reopenBackoff <= 0 {
+		return
+	}
+	go func() {
+		const maxBackoff = 30 * time.Second
+		for delay := n.reopenBackoff; ; delay = min(delay*2, maxBackoff) {
+			select {
+			case <-n.done:
+				return
+			case <-time.After(delay):
+			}
+			if n.tryReopen() {
+				return
+			}
+		}
+	}()
+}
+
+// tryReopen attempts one reopen; it reports true when the namespace is
+// healthy again (or permanently beyond help, i.e. draining).
+func (n *Namespace) tryReopen() bool {
+	// Wait for the worker to finish discarding poisoned-era entries first:
+	// reopening under a non-empty queue would race fresh admissions against
+	// stale ones. No new entries can arrive while err is set.
+	if len(n.queue) > 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.draining || n.err == nil {
+		return true
+	}
+	if len(n.queue) > 0 {
+		return false
+	}
+	m, highwater, err := openModel(n.store, n.spec, n.txnHook)
+	if err != nil {
+		log.Default().Warn("namespace reopen failed; backing off",
+			"ns", n.spec.Name, "err", err)
+		return false
+	}
+	n.mdl.Store(m)
+	n.seqAccepted = highwater
+	n.seqApplied.Store(highwater)
+	n.seqDurable.Store(highwater)
+	n.epoch++
+	n.err = nil
+	n.reopens.Add(1)
+	log.Default().Info("namespace reopened after sticky failure",
+		"ns", n.spec.Name, "t", int64(m.T()), "seq", highwater)
+	return true
 }
 
 // monitorModel adapts the in-memory pattern detector to the durable
@@ -420,6 +629,9 @@ type monitorModel struct {
 	mon    *demon.Monitor
 	io     *diskio.TxnStore
 	blocks *itemset.BlockStore // over io, so writes join the block transaction
+	// txnHook, when non-nil, runs inside every AddBlock transaction before
+	// commit, mirroring the miners' ItemsetMinerConfig.TxnHook.
+	txnHook func(demon.Store, demon.BlockID) error
 	// t is atomic: the ingest worker advances it while status handlers read
 	// it (the detector behind mon has its own RWMutex).
 	t      atomic.Int64
@@ -520,6 +732,12 @@ func (m *monitorModel) AddBlockCtx(ctx context.Context, rows [][]itemset.Item) e
 	if err := putMonitorMeta(m.io, id, m.nextTx+blk.Len()); err != nil {
 		m.io.Rollback()
 		return fmt.Errorf("serve: storing monitor meta: %w", err)
+	}
+	if m.txnHook != nil {
+		if err := m.txnHook(m.io, id); err != nil {
+			m.io.Rollback()
+			return fmt.Errorf("serve: monitor block %d transaction hook: %w", id, err)
+		}
 	}
 	if err := m.io.Commit(); err != nil {
 		return err

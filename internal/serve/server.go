@@ -35,6 +35,18 @@ import (
 // server config nor the namespace spec says otherwise.
 const DefaultQueueDepth = 64
 
+// Ingest body caps: a single request may stream many NDJSON blocks, so the
+// body cap is generous, while the per-line cap bounds what one block may
+// cost to buffer. Both are configurable.
+const (
+	DefaultMaxIngestBytes = 256 << 20
+	DefaultMaxLineBytes   = 16 << 20
+)
+
+// DefaultReopenBackoff is the base delay before a sticky-failed namespace
+// attempts to resume a fresh model generation from its store.
+const DefaultReopenBackoff = time.Second
+
 // Config configures a Server.
 type Config struct {
 	// Root is the directory holding one sub-directory per namespace. It is
@@ -43,9 +55,55 @@ type Config struct {
 	// QueueDepth is the default per-namespace ingest queue bound
 	// (DefaultQueueDepth when zero); a namespace spec may override it.
 	QueueDepth int
+	// MaxIngestBytes caps one ingest request's body (DefaultMaxIngestBytes
+	// when zero, unlimited when negative). Oversized requests get 413.
+	MaxIngestBytes int64
+	// MaxLineBytes caps one NDJSON line — one block — of an ingest stream
+	// (DefaultMaxLineBytes when zero, unlimited when negative).
+	MaxLineBytes int
+	// ReopenBackoff is the base delay of the per-namespace auto-reopen loop
+	// that resumes sticky-failed miners from their stores
+	// (DefaultReopenBackoff when zero, disabled when negative).
+	ReopenBackoff time.Duration
 	// Registry receives the server's metrics (queue depths, block counters);
 	// obs.Default() when nil.
 	Registry *obs.Registry
+}
+
+// maxIngestBytes resolves the body cap (0 means unlimited).
+func (c Config) maxIngestBytes() int64 {
+	switch {
+	case c.MaxIngestBytes < 0:
+		return 0
+	case c.MaxIngestBytes == 0:
+		return DefaultMaxIngestBytes
+	default:
+		return c.MaxIngestBytes
+	}
+}
+
+// maxLineBytes resolves the per-line cap (0 means unlimited).
+func (c Config) maxLineBytes() int {
+	switch {
+	case c.MaxLineBytes < 0:
+		return 0
+	case c.MaxLineBytes == 0:
+		return DefaultMaxLineBytes
+	default:
+		return c.MaxLineBytes
+	}
+}
+
+// reopenBackoff resolves the auto-reopen base delay (0 means disabled).
+func (c Config) reopenBackoff() time.Duration {
+	switch {
+	case c.ReopenBackoff < 0:
+		return 0
+	case c.ReopenBackoff == 0:
+		return DefaultReopenBackoff
+	default:
+		return c.ReopenBackoff
+	}
 }
 
 // Server is the resident mining server: a registry of namespaces plus the
@@ -93,7 +151,7 @@ func New(cfg Config) (*Server, error) {
 		if spec.Name != e.Name() {
 			return nil, fmt.Errorf("serve: namespace directory %s holds spec named %q", e.Name(), spec.Name)
 		}
-		n, err := openNamespace(dir, spec, cfg.QueueDepth)
+		n, err := openNamespace(dir, spec, cfg.QueueDepth, cfg.reopenBackoff())
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +173,13 @@ func New(cfg Config) (*Server, error) {
 			r.Gauge("serve.blocks.applied" + labels).Set(n.applied.Load())
 			r.Gauge("serve.blocks.rejected" + labels).Set(n.rejected.Load())
 			r.Gauge("serve.blocks.failed" + labels).Set(n.failed.Load())
+			r.Gauge("serve.blocks.duplicate" + labels).Set(n.duplicates.Load())
+			r.Gauge("serve.reopens" + labels).Set(n.reopens.Load())
 			r.Gauge("serve.t" + labels).Set(int64(n.T()))
+			accepted, applied, durable := n.Seq()
+			r.Gauge("serve.seq.accepted" + labels).Set(int64(accepted))
+			r.Gauge("serve.seq.applied" + labels).Set(int64(applied))
+			r.Gauge("serve.seq.durable" + labels).Set(int64(durable))
 			r.Gauge("serve.ingest.oldest.age.ns" + labels).Set(n.ages.oldestAge(now).Nanoseconds())
 		}
 	})
@@ -164,7 +228,7 @@ func (s *Server) Create(spec Spec) (*Namespace, error) {
 	if err := writeSpec(dir, spec); err != nil {
 		return nil, err
 	}
-	n, err := openNamespace(dir, spec, s.cfg.QueueDepth)
+	n, err := openNamespace(dir, spec, s.cfg.QueueDepth, s.cfg.reopenBackoff())
 	if err != nil {
 		return nil, err
 	}
@@ -253,16 +317,30 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 // ingestResult reports how far an ingest request got. On backpressure the
-// client re-sends the stream from Accepted blocks in.
+// client re-sends the stream from Accepted blocks in; on a sequenced stream
+// NextSeq says exactly which block the server wants next, and DurableSeq is
+// the checkpoint-covered mark the client may trim its replay buffer to.
 type ingestResult struct {
 	// Accepted blocks were enqueued and will be applied (drain included).
 	Accepted int `json:"accepted"`
+	// Duplicates counts sequenced blocks acknowledged as already-accepted
+	// no-ops; Duplicate marks a request that was entirely duplicates — an
+	// idempotent success (HTTP 200, not 202).
+	Duplicates int  `json:"duplicates,omitempty"`
+	Duplicate  bool `json:"duplicate,omitempty"`
 	// Enqueued is the queue depth after the request (a congestion hint).
-	Enqueued int    `json:"enqueued"`
-	Error    string `json:"error,omitempty"`
+	Enqueued int `json:"enqueued"`
+	// NextSeq is the sequence number the namespace expects next (0 while
+	// unsequenced); DurableSeq is the highest checkpoint-covered sequence.
+	NextSeq    uint64 `json:"next_seq,omitempty"`
+	DurableSeq uint64 `json:"durable_seq,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
-// nsStatus is the status document of one namespace.
+// nsStatus is the status document of one namespace. The seq fields expose
+// the three durability marks of a sequenced stream: Seq was admitted,
+// AppliedSeq committed to the store, DurableSeq covered by a checkpoint.
+// NextSeq is what a resyncing client should send next.
 type nsStatus struct {
 	Spec       Spec          `json:"spec"`
 	T          demon.BlockID `json:"t"`
@@ -272,12 +350,19 @@ type nsStatus struct {
 	Applied    int64         `json:"blocks_applied"`
 	Rejected   int64         `json:"blocks_rejected"`
 	Failed     int64         `json:"blocks_failed"`
+	Duplicates int64         `json:"blocks_duplicate,omitempty"`
+	Seq        uint64        `json:"seq,omitempty"`
+	AppliedSeq uint64        `json:"applied_seq,omitempty"`
+	DurableSeq uint64        `json:"durable_seq,omitempty"`
+	NextSeq    uint64        `json:"next_seq"`
+	Reopens    int64         `json:"reopens,omitempty"`
 	Healthy    bool          `json:"healthy"`
 	Error      string        `json:"error,omitempty"`
 }
 
 func (n *Namespace) status() nsStatus {
 	depth, capacity := n.QueueDepth()
+	accepted, applied, durable := n.Seq()
 	st := nsStatus{
 		Spec:       n.spec,
 		T:          n.T(),
@@ -287,6 +372,12 @@ func (n *Namespace) status() nsStatus {
 		Applied:    n.applied.Load(),
 		Rejected:   n.rejected.Load(),
 		Failed:     n.failed.Load(),
+		Duplicates: n.duplicates.Load(),
+		Seq:        accepted,
+		AppliedSeq: applied,
+		DurableSeq: durable,
+		NextSeq:    accepted + 1,
+		Reopens:    n.reopens.Load(),
 		Healthy:    true,
 	}
 	if err := n.Err(); err != nil {
@@ -468,12 +559,13 @@ func (s *Server) Handler() http.Handler {
 	}))
 
 	mux.Handle("GET /v1/namespaces/{name}/itemsets", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
+		m := n.m()
 		var sets []demon.ItemsetSupport
 		switch {
-		case n.itemset != nil:
-			sets = n.itemset.FrequentItemsets()
-		case n.window != nil:
-			sets = n.window.FrequentItemsets()
+		case m.itemset != nil:
+			sets = m.itemset.FrequentItemsets()
+		case m.window != nil:
+			sets = m.window.FrequentItemsets()
 		default:
 			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no itemset model", n.spec.Name, n.spec.Kind))
 			return
@@ -491,12 +583,13 @@ func (s *Server) Handler() http.Handler {
 	}))
 
 	mux.Handle("GET /v1/namespaces/{name}/border", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
+		m := n.m()
 		var l *demon.Lattice
 		switch {
-		case n.itemset != nil:
-			l = n.itemset.Lattice()
-		case n.window != nil:
-			l = n.window.Current()
+		case m.itemset != nil:
+			l = m.itemset.Lattice()
+		case m.window != nil:
+			l = m.window.Current()
 		default:
 			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no itemset model", n.spec.Name, n.spec.Kind))
 			return
@@ -515,13 +608,14 @@ func (s *Server) Handler() http.Handler {
 		if v, err := strconv.ParseFloat(r.URL.Query().Get("minconf"), 64); err == nil {
 			minconf = v
 		}
+		m := n.m()
 		var rules []demon.Rule
 		var err error
 		switch {
-		case n.itemset != nil:
-			rules, err = n.itemset.Rules(minconf)
-		case n.window != nil:
-			rules, err = n.window.Rules(minconf)
+		case m.itemset != nil:
+			rules, err = m.itemset.Rules(minconf)
+		case m.window != nil:
+			rules, err = m.window.Rules(minconf)
 		default:
 			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no itemset model", n.spec.Name, n.spec.Kind))
 			return
@@ -544,11 +638,12 @@ func (s *Server) Handler() http.Handler {
 	}))
 
 	mux.Handle("GET /v1/namespaces/{name}/clusters", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
-		if n.cluster == nil {
+		m := n.m()
+		if m.cluster == nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no cluster model", n.spec.Name, n.spec.Kind))
 			return
 		}
-		cs, err := n.cluster.Clusters()
+		cs, err := m.cluster.Clusters()
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -561,7 +656,8 @@ func (s *Server) Handler() http.Handler {
 	}))
 
 	mux.Handle("GET /v1/namespaces/{name}/patterns", s.withNS(func(w http.ResponseWriter, r *http.Request, n *Namespace) {
-		if n.monitor == nil {
+		m := n.m()
+		if m.monitor == nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: namespace %s (%s) has no monitor", n.spec.Name, n.spec.Kind))
 			return
 		}
@@ -572,7 +668,7 @@ func (s *Server) Handler() http.Handler {
 			PValue   *float64          `json:"p_value,omitempty"`
 			Similar  *bool             `json:"similar,omitempty"`
 		}
-		rep := report{T: n.monitor.T(), Patterns: n.monitor.mon.Patterns()}
+		rep := report{T: m.monitor.T(), Patterns: m.monitor.mon.Patterns()}
 		q := r.URL.Query()
 		if q.Has("a") && q.Has("b") {
 			a, errA := strconv.Atoi(q.Get("a"))
@@ -581,7 +677,7 @@ func (s *Server) Handler() http.Handler {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("serve: a and b must be block identifiers"))
 				return
 			}
-			score, pv, ok := n.monitor.mon.Similarity(demon.BlockID(a), demon.BlockID(b))
+			score, pv, ok := m.monitor.mon.Similarity(demon.BlockID(a), demon.BlockID(b))
 			if !ok {
 				writeError(w, http.StatusNotFound, fmt.Errorf("serve: no cached deviation for blocks %d and %d", a, b))
 				return
@@ -678,27 +774,62 @@ func (s *Server) withNS(h func(http.ResponseWriter, *http.Request, *Namespace)) 
 // (draining) with the accepted count and a Retry-After hint; the client
 // resumes the stream from there. Accepted blocks are applied even if the
 // server drains before they leave the queue.
+//
+// Hardening: the request body is capped (413 with reason=body), each NDJSON
+// line is capped (413 with reason=line), duplicate sequenced blocks are
+// acknowledged as no-ops (a request of only duplicates answers 200 with
+// "duplicate": true), and sequence gaps or a seq-less block on a sequenced
+// stream answer 409 with the expected NextSeq.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, n *Namespace) {
-	dec := blockio.NewDecoder(r.Body)
+	body := r.Body
+	if maxBody := s.cfg.maxIngestBytes(); maxBody > 0 {
+		body = http.MaxBytesReader(w, body, maxBody)
+	}
+	dec := blockio.NewLineDecoder(body, s.cfg.maxLineBytes())
 	res := ingestResult{}
 	respond := func(code int) {
 		res.Enqueued, _ = n.QueueDepth()
+		accepted, _, durable := n.Seq()
+		if accepted > 0 {
+			res.NextSeq = accepted + 1
+			res.DurableSeq = durable
+		}
 		writeJSON(w, code, res)
 	}
 	for {
 		b, err := dec.Next()
 		if err == io.EOF {
+			if res.Accepted == 0 && res.Duplicates > 0 {
+				// Every block was already accepted: the retry of an
+				// ambiguous failure. Idempotent success, nothing enqueued.
+				res.Duplicate = true
+				respond(http.StatusOK)
+				return
+			}
 			respond(http.StatusAccepted)
 			return
 		}
 		if err != nil {
 			res.Error = err.Error()
-			respond(http.StatusBadRequest)
+			var tooLarge *http.MaxBytesError
+			switch {
+			case errors.As(err, &tooLarge):
+				s.reg.Counter("serve.ingest.rejected|reason=body").Inc()
+				respond(http.StatusRequestEntityTooLarge)
+			case errors.Is(err, blockio.ErrLineTooLong):
+				s.reg.Counter("serve.ingest.rejected|reason=line").Inc()
+				respond(http.StatusRequestEntityTooLarge)
+			default:
+				s.reg.Counter("serve.ingest.rejected|reason=decode").Inc()
+				respond(http.StatusBadRequest)
+			}
 			return
 		}
 		switch err := n.EnqueueCtx(r.Context(), b); {
 		case err == nil:
 			res.Accepted++
+		case errors.Is(err, ErrDuplicate):
+			res.Duplicates++
 		case errors.Is(err, ErrQueueFull):
 			res.Error = err.Error()
 			w.Header().Set("Retry-After", retryAfterJitter(1))
@@ -712,6 +843,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, n *Namespa
 		case errors.Is(err, ErrWrongKind):
 			res.Error = err.Error()
 			respond(http.StatusBadRequest)
+			return
+		case errors.Is(err, ErrSeqGap), errors.Is(err, ErrUnsequenced):
+			res.Error = err.Error()
+			s.reg.Counter("serve.ingest.rejected|reason=seq").Inc()
+			respond(http.StatusConflict)
 			return
 		default:
 			res.Error = err.Error()

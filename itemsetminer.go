@@ -43,6 +43,13 @@ type ItemsetMinerConfig struct {
 	// N-th block, inside the same atomic transaction as the block itself.
 	// Zero or negative disables automatic checkpoints.
 	AutoCheckpointEvery int
+	// TxnHook, when non-nil, is invoked inside every AddBlock transaction —
+	// after the block's writes and any automatic checkpoint, before commit —
+	// with the transactional store view and the block's identifier. Writes
+	// it performs become durable atomically with the block or not at all;
+	// the serving layer persists its ingest-sequence high-water mark through
+	// it. A hook error aborts the block like any other transaction failure.
+	TxnHook func(store Store, id BlockID) error
 }
 
 // MaintenanceReport describes one AddBlock step.
@@ -276,6 +283,11 @@ func (m *ItemsetMiner) AddBlockCtx(ctx context.Context, transactions [][]Item) (
 	if n := m.cfg.AutoCheckpointEvery; n > 0 && int(id)%n == 0 {
 		if err := m.writeCheckpoint(ctx, id, totalTx); err != nil {
 			return nil, err
+		}
+	}
+	if h := m.cfg.TxnHook; h != nil {
+		if err := h(m.io, id); err != nil {
+			return nil, fmt.Errorf("demon: block %d transaction hook: %w", id, err)
 		}
 	}
 	if err := m.io.Commit(); err != nil {

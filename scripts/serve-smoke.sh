@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Live smoke test of the demon-serve binary: start it on a temp root, create
-# a namespace, stream NDJSON blocks from demon-datagen through the ingestion
-# API, query the model, SIGTERM it mid-life, and verify the restart resumes
-# the namespace at the drained block. Run via `make serve-smoke` so bin/ is
-# fresh.
+# Live smoke test of the demon-serve binary: start it on a temp root with the
+# hardening flags, create a namespace, stream NDJSON blocks from demon-datagen
+# through demon-feed (sequenced, exactly-once), re-feed the same stream to see
+# duplicates acknowledged, bounce an oversized body off the 413 cap, query the
+# model, SIGTERM it mid-life, and verify the restart resumes the namespace at
+# the drained block with the feed still idempotent. Run via `make serve-smoke`
+# so bin/ is fresh.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+for b in bin/demon-serve bin/demon-feed bin/demon-datagen; do
+    [ -x "$b" ] || { echo "serve-smoke: $b missing (run make bin)" >&2; exit 1; }
+done
 BIN=bin/demon-serve
-[ -x "$BIN" ] || { echo "serve-smoke: $BIN missing (run make bin)" >&2; exit 1; }
 
 ROOT=$(mktemp -d)
 PORT=$(( (RANDOM % 1000) + 18000 ))
@@ -32,10 +36,16 @@ wait_healthy() {
     exit 1
 }
 
+start_server() {
+    "$BIN" -root "$ROOT" -addr "$ADDR" \
+        -max-ingest-bytes $((256 * 1024)) \
+        -http-read-header-timeout 5s &
+    SRV_PID=$!
+    wait_healthy
+}
+
 echo "serve-smoke: starting $BIN on $ADDR (root $ROOT)"
-"$BIN" -root "$ROOT" -addr "$ADDR" &
-SRV_PID=$!
-wait_healthy
+start_server
 
 echo "serve-smoke: /versionz and /metricsz answer"
 curl -fsS "http://$ADDR/versionz" | grep -q '"go"'
@@ -45,17 +55,37 @@ echo "serve-smoke: /readyz reports ready"
 READY=$(curl -fsS "http://$ADDR/readyz")
 echo "$READY" | grep -q '"ready": *true' || { echo "serve-smoke: /readyz not ready: $READY" >&2; exit 1; }
 
-echo "serve-smoke: creating namespace and streaming blocks (traced)"
+echo "serve-smoke: creating namespace and feeding blocks through demon-feed"
 curl -fsS -X POST "http://$ADDR/v1/namespaces" \
     -d '{"name":"smoke","kind":"itemset","min_support":0.05,"strategy":"ecut"}' >/dev/null
-bin/demon-datagen -kind tx -format ndjson -blocks 4 -blocksize 200 -dir - 2>/dev/null |
-    curl -fsS -X POST -H 'X-Demon-Trace-Id: smoke-trace' --data-binary @- \
-        "http://$ADDR/v1/namespaces/smoke/blocks" |
-    grep -q '"accepted": 4'
-curl -fsS -X POST "http://$ADDR/v1/namespaces/smoke/flush?checkpoint=1" >/dev/null
+bin/demon-datagen -kind tx -format ndjson -blocks 4 -blocksize 200 -dir - 2>/dev/null \
+    > "$ROOT/blocks.ndjson"
+FEED=$(bin/demon-feed -url "http://$ADDR" -ns smoke < "$ROOT/blocks.ndjson" 2>/dev/null)
+echo "$FEED" | grep -q '"read":4' && echo "$FEED" | grep -q '"sent":4' ||
+    { echo "serve-smoke: first feed did not send all blocks: $FEED" >&2; exit 1; }
 curl -fsS "http://$ADDR/v1/namespaces/smoke/itemsets?top=3" | grep -q '"support"'
 
-echo "serve-smoke: /tracez retains the client-labelled trace end to end"
+echo "serve-smoke: re-feeding the same stream is acknowledged as duplicates"
+REFEED=$(bin/demon-feed -url "http://$ADDR" -ns smoke -no-sync < "$ROOT/blocks.ndjson" 2>/dev/null)
+echo "$REFEED" | grep -q '"duplicates":4' ||
+    { echo "serve-smoke: duplicate re-send not acknowledged: $REFEED" >&2; exit 1; }
+curl -fsS "http://$ADDR/v1/namespaces/smoke" | grep -q '"seq": *4'
+
+echo "serve-smoke: an oversized ingest body is refused with 413"
+CODE=$(head -c 300000 /dev/zero | tr '\0' ' ' |
+    curl -s -o /dev/null -w '%{http_code}' --data-binary @- \
+        "http://$ADDR/v1/namespaces/smoke/blocks")
+[ "$CODE" = 413 ] || { echo "serve-smoke: oversized body got $CODE, want 413" >&2; exit 1; }
+curl -fsS "http://$ADDR/metricsz" | grep -q 'serve.ingest.rejected|reason=body' ||
+    { echo "serve-smoke: 413 did not bump the rejected counter" >&2; exit 1; }
+
+echo "serve-smoke: traced curl ingest retains the trace end to end"
+curl -fsS -X POST "http://$ADDR/v1/namespaces" \
+    -d '{"name":"traced","kind":"itemset","min_support":0.05,"strategy":"ecut"}' >/dev/null
+head -1 "$ROOT/blocks.ndjson" |
+    curl -fsS -X POST -H 'X-Demon-Trace-Id: smoke-trace' --data-binary @- \
+        "http://$ADDR/v1/namespaces/traced/blocks" >/dev/null
+curl -fsS -X POST "http://$ADDR/v1/namespaces/traced/flush" >/dev/null
 TRACE=$(curl -fsS "http://$ADDR/tracez?id=smoke-trace")
 for span in serve.http.request.ns serve.queue.wait.ns miner.itemset.addblock.ns diskio.txn.commit.ns; do
     echo "$TRACE" | grep -q "\"$span\"" ||
@@ -86,11 +116,12 @@ echo "serve-smoke: SIGTERM drains and exits cleanly"
 kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 
-echo "serve-smoke: restart resumes the namespace"
-"$BIN" -root "$ROOT" -addr "$ADDR" &
-SRV_PID=$!
-wait_healthy
+echo "serve-smoke: restart resumes the namespace and the feed stays idempotent"
+start_server
 curl -fsS "http://$ADDR/namespacesz" | grep -q '"t": 4'
+RESUME=$(bin/demon-feed -url "http://$ADDR" -ns smoke < "$ROOT/blocks.ndjson" 2>/dev/null)
+echo "$RESUME" | grep -q '"read":4' && echo "$RESUME" | grep -q '"sent":0' ||
+    { echo "serve-smoke: post-restart feed re-sent durable blocks: $RESUME" >&2; exit 1; }
 
 kill -TERM "$SRV_PID"
 wait "$SRV_PID"

@@ -61,6 +61,9 @@ type ItemsetWindowMinerConfig struct {
 	// after every N-th block, inside the same atomic transaction as the
 	// block itself. Zero or negative disables automatic checkpoints.
 	AutoCheckpointEvery int
+	// TxnHook, when non-nil, runs inside every AddBlock transaction before
+	// commit; see ItemsetMinerConfig.TxnHook.
+	TxnHook func(store Store, id BlockID) error
 }
 
 // WindowReport describes one AddBlock step of a window miner.
@@ -212,6 +215,11 @@ func (m *ItemsetWindowMiner) AddBlockCtx(ctx context.Context, transactions [][]I
 	if n := m.cfg.AutoCheckpointEvery; n > 0 && int(id)%n == 0 {
 		if err := m.writeCheckpoint(ctx, id, nextTx); err != nil {
 			return nil, err
+		}
+	}
+	if h := m.cfg.TxnHook; h != nil {
+		if err := h(m.io, id); err != nil {
+			return nil, fmt.Errorf("demon: block %d transaction hook: %w", id, err)
 		}
 	}
 	if err := m.io.Commit(); err != nil {
