@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build bin test race race-differential cover bench check faultsweep chaos serve-smoke lint-metrics experiments examples fmt vet clean
+.PHONY: all build bin test race race-differential cover bench perf perf-gate check faultsweep chaos serve-smoke lint-metrics experiments examples fmt vet clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# All six CLI binaries — demon-miner, demon-cluster, demon-patterns,
-# demon-datagen, demon-bench and the resident server demon-serve — into bin/.
+# Every CLI binary — the miners and generators, demon-bench, demon-perf,
+# the chaos proxy and feeder, and the resident server demon-serve — into bin/.
 bin:
 	$(GO) build -o bin/ ./cmd/...
 
@@ -70,8 +70,29 @@ serve-smoke: bin
 	./scripts/serve-smoke.sh
 
 # One testing.B benchmark per paper table/figure (see bench_test.go).
+# Filterable: `make bench PKG=./internal/borders/ BENCH=ECUT` runs only the
+# ECUT benchmarks of that package.
+PKG ?= ./...
+BENCH ?= .
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' ./...
+	$(GO) test -bench='$(BENCH)' -benchmem -run '^$$' $(PKG)
+
+# The performance-trajectory harness (see internal/perf): produce a
+# committable baseline — the short-mode pinned suite with profiling.
+# `make perf NUMBER=10` writes BENCH_10.json; committed baselines are
+# short-mode because the CI gate compares like against like. PERF_FLAGS
+# adds e.g. -suite miner/ecut or -iterations 7.
+NUMBER ?= 0
+PERF_FLAGS ?=
+perf:
+	$(GO) run ./cmd/demon-perf run -short -number $(NUMBER) -out BENCH_$(NUMBER).json -profile-dir perf-profiles $(PERF_FLAGS)
+
+# The CI regression gate: short-mode run compared against the committed
+# baseline artifact; exits nonzero on regression.
+PERF_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+perf-gate:
+	$(GO) run ./cmd/demon-perf run -short -quiet -out perf-new.json
+	$(GO) run ./cmd/demon-perf compare -time-threshold 0.6 $(PERF_BASELINE) perf-new.json
 
 # Regenerate every table and figure of the paper's evaluation at laptop
 # scale; use SCALE=1.0 for paper-sized runs.

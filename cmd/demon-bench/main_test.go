@@ -77,6 +77,13 @@ func TestArtifactAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	var artifact struct {
+		Build struct {
+			Module string `json:"module"`
+			Go     string `json:"go"`
+		} `json:"build"`
+		GoMaxProcs  int     `json:"gomaxprocs"`
+		Scale       float64 `json:"scale"`
+		Seed        int64   `json:"seed"`
 		Experiments []struct {
 			Name    string          `json:"name"`
 			Rows    json.RawMessage `json:"rows"`
@@ -85,6 +92,12 @@ func TestArtifactAndMetrics(t *testing.T) {
 	}
 	if err := json.Unmarshal(raw, &artifact); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if artifact.Build.Module == "" || artifact.Build.Go == "" || artifact.GoMaxProcs <= 0 {
+		t.Errorf("artifact lacks a build identity stamp: %+v", artifact.Build)
+	}
+	if artifact.Scale != 0.02 || artifact.Seed != 1 {
+		t.Errorf("artifact seed/scale = %v/%v, want 1/0.02", artifact.Seed, artifact.Scale)
 	}
 	if len(artifact.Experiments) != 4 {
 		t.Fatalf("artifact has %d experiments, want 4", len(artifact.Experiments))

@@ -1,0 +1,180 @@
+// Command demon-perf is the performance-trajectory harness: it runs the
+// pinned perf suite (counting strategies, all four miners at workers
+// {1, GOMAXPROCS}, the proxysim monitoring workload, and a served
+// end-to-end ingest) and emits a schema-versioned BENCH_<n>.json artifact,
+// or judges two such artifacts against per-metric regression thresholds.
+//
+// Usage:
+//
+//	demon-perf run -out BENCH_9.json -number 9 -profile-dir profiles
+//	demon-perf run -short -suite miner/ecut,count/ecut -iterations 3
+//	demon-perf compare BENCH_8.json BENCH_9.json
+//	demon-perf compare -time-threshold 0.5 OLD.json NEW.json
+//	demon-perf list
+//
+// `run` prints a human summary and, with -out, writes the machine-readable
+// artifact: ns/op (median and min over -iterations), allocs/op, bytes/op,
+// ingest throughput, peak RSS, GC pause quantiles, per-entry obs-registry
+// deltas, and — when -profile-dir is set — per-entry CPU profiles plus a
+// run-wide heap profile parsed into top-N hotspot tables.
+//
+// `compare` exits 1 when any metric regresses beyond its threshold (see
+// internal/perf/compare.go for the min/median dual gate), 0 otherwise.
+// CI runs it against the committed previous BENCH_<n>.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/demon-mining/demon/internal/perf"
+	"github.com/demon-mining/demon/internal/version"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: demon-perf <run|compare|list> [flags]")
+	fmt.Fprintln(stderr, "  run      run the pinned suite and emit a BENCH artifact")
+	fmt.Fprintln(stderr, "  compare  judge NEW.json against OLD.json, exit 1 on regression")
+	fmt.Fprintln(stderr, "  list     print the suite entries")
+	fmt.Fprintln(stderr, "run 'demon-perf <cmd> -h' for the command's flags")
+	return 2
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		return usage(stderr)
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
+	case "list":
+		return cmdList(args[1:], stdout, stderr)
+	case "-version", "--version":
+		fmt.Fprintf(stdout, "demon-perf %s\n", version.Get())
+		return 0
+	default:
+		fmt.Fprintf(stderr, "demon-perf: unknown command %q\n", args[0])
+		return usage(stderr)
+	}
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("demon-perf run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "write the JSON artifact to this file")
+	profileDir := fs.String("profile-dir", "", "capture per-entry CPU profiles and a run heap profile into this directory, and embed hotspot tables")
+	short := fs.Bool("short", false, "CI-sized datasets and iteration count")
+	iterations := fs.Int("iterations", 0, "iterations per entry (default 5, 3 with -short)")
+	scale := fs.Float64("scale", 1.0, "dataset scale factor")
+	seed := fs.Int64("seed", 1, "data-generation seed")
+	number := fs.Int("number", 0, "trajectory point to stamp (the <n> of BENCH_<n>.json)")
+	topN := fs.Int("top", 5, "hotspot table size")
+	suite := fs.String("suite", "all", "comma-separated entry names (see 'demon-perf list') or 'all'")
+	quiet := fs.Bool("quiet", false, "suppress per-iteration progress on stderr")
+	showVersion := fs.Bool("version", false, "print the build identity and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "demon-perf %s\n", version.Get())
+		return 0
+	}
+
+	cfg := perf.Config{
+		Scale:      *scale,
+		Short:      *short,
+		Iterations: *iterations,
+		Seed:       *seed,
+		TopN:       *topN,
+		Number:     *number,
+		ProfileDir: *profileDir,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	}
+	if *suite != "all" && *suite != "" {
+		cfg.Select = make(map[string]bool)
+		for _, name := range strings.Split(*suite, ",") {
+			cfg.Select[strings.TrimSpace(name)] = true
+		}
+	}
+
+	art, err := perf.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "demon-perf:", err)
+		return 1
+	}
+	if err := art.WriteText(stdout); err != nil {
+		fmt.Fprintln(stderr, "demon-perf:", err)
+		return 1
+	}
+	if *out != "" {
+		if err := art.WriteFile(*out); err != nil {
+			fmt.Fprintln(stderr, "demon-perf:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nartifact written to %s\n", *out)
+	}
+	return 0
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("demon-perf compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	th := perf.DefaultThresholds()
+	fs.Float64Var(&th.Time, "time-threshold", th.Time, "fractional ns/op regression bound (scaled per entry)")
+	fs.Float64Var(&th.Allocs, "alloc-threshold", th.Allocs, "fractional allocs/op regression bound")
+	fs.Float64Var(&th.Bytes, "bytes-threshold", th.Bytes, "fractional bytes/op regression bound")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: demon-perf compare [flags] OLD.json NEW.json")
+		return 2
+	}
+	oldA, err := perf.ReadArtifact(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "demon-perf:", err)
+		return 2
+	}
+	newA, err := perf.ReadArtifact(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "demon-perf:", err)
+		return 2
+	}
+	c, err := perf.Compare(oldA, newA, th)
+	if err != nil {
+		fmt.Fprintln(stderr, "demon-perf:", err)
+		return 2
+	}
+	if err := c.WriteText(stdout, perf.EntriesByKey(newA)); err != nil {
+		fmt.Fprintln(stderr, "demon-perf:", err)
+		return 1
+	}
+	if !c.OK() {
+		return 1
+	}
+	return 0
+}
+
+func cmdList(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("demon-perf list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	short := fs.Bool("short", false, "list the short-mode suite")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	for _, e := range perf.Suite(perf.Config{Short: *short}) {
+		fmt.Fprintln(stdout, e.Key())
+	}
+	return 0
+}

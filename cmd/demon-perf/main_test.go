@@ -1,0 +1,116 @@
+package main
+
+// End-to-end CLI tests: a tiny real run, the self-compare that must be
+// clean, and the inflated-artifact path that must exit nonzero (the
+// acceptance check for the regression gate).
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/perf"
+)
+
+func TestUsageAndList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown command: exit %d, want 2", code)
+	}
+
+	out.Reset()
+	if code := run([]string{"list", "-short"}, &out, &errOut); code != 0 {
+		t.Fatalf("list: exit %d\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"miner/ecut/w1", "count/ecut", "serve/ingest"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output lacks %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCompareRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real counting workload")
+	}
+	prev := obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+
+	dir := t.TempDir()
+	artPath := filepath.Join(dir, "BENCH_t.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"run", "-short", "-quiet", "-suite", "count/ecut",
+		"-iterations", "1", "-number", "7", "-out", artPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run: exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "count/ecut") {
+		t.Errorf("summary lacks the entry:\n%s", out.String())
+	}
+
+	art, err := perf.ReadArtifact(artPath)
+	if err != nil {
+		t.Fatalf("ReadArtifact: %v", err)
+	}
+	if art.Number != 7 || len(art.Entries) != 1 {
+		t.Fatalf("artifact = number %d, %d entries", art.Number, len(art.Entries))
+	}
+
+	// Self-compare must be clean and exit 0.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"compare", artPath, artPath}, &out, &errOut); code != 0 {
+		t.Fatalf("self-compare: exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("self-compare output lacks PASS:\n%s", out.String())
+	}
+
+	// Synthetically inflate the hot path: compare must exit nonzero.
+	art.Entries[0].NsPerOp *= 3
+	art.Entries[0].MinNs *= 3
+	for i := range art.Entries[0].IterNs {
+		art.Entries[0].IterNs[i] *= 3
+	}
+	inflPath := filepath.Join(dir, "BENCH_inflated.json")
+	if err := art.WriteFile(inflPath); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"compare", artPath, inflPath}, &out, &errOut); code != 1 {
+		t.Fatalf("inflated compare: exit %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("inflated compare output lacks FAIL:\n%s", out.String())
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", "one.json"}, &out, &errOut); code != 2 {
+		t.Errorf("one operand: exit %d, want 2", code)
+	}
+	if code := run([]string{"compare", "missing-a.json", "missing-b.json"}, &out, &errOut); code != 2 {
+		t.Errorf("missing files: exit %d, want 2", code)
+	}
+
+	// A schema we don't speak is a usage error, not a regression verdict.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	blob, _ := json.Marshal(map[string]any{"schema": perf.SchemaVersion + 100})
+	if err := os.WriteFile(bad, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"compare", bad, bad}, &out, &errOut); code != 2 {
+		t.Errorf("future schema: exit %d, want 2", code)
+	}
+}

@@ -3,8 +3,10 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 
 	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/version"
 )
 
 // Artifact is the machine-readable counterpart of demon-bench's stdout
@@ -13,6 +15,12 @@ import (
 // per-strategy byte counters land in the BENCH_*.json artifact instead of
 // only on a terminal.
 type Artifact struct {
+	// Build identifies the binary that produced the artifact, so a number in
+	// a BENCH_*.json can always be traced to a revision and toolchain.
+	Build      version.Info `json:"build"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+
 	Scale       float64            `json:"scale"`
 	Seed        int64              `json:"seed"`
 	Experiments []ExperimentResult `json:"experiments"`
@@ -40,9 +48,17 @@ type ArtifactBuilder struct {
 }
 
 // NewArtifactBuilder starts an artifact against the given registry (usually
-// obs.Default, already enabled by the caller).
+// obs.Default, already enabled by the caller), stamped with the build
+// identity and the effective seed and scale of the run.
 func NewArtifactBuilder(reg *obs.Registry, scale float64, seed int64) *ArtifactBuilder {
-	return &ArtifactBuilder{reg: reg, art: Artifact{Scale: scale, Seed: seed}, last: reg.Snapshot()}
+	art := Artifact{
+		Build:      version.Get(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      scale,
+		Seed:       seed,
+	}
+	return &ArtifactBuilder{reg: reg, art: art, last: reg.Snapshot()}
 }
 
 // Add records one finished experiment: its rows and the registry movement

@@ -38,7 +38,7 @@ func collectRuntime(r *Registry) {
 	r.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
 	r.Gauge("runtime.heap.alloc.bytes").Set(int64(ms.HeapAlloc))
 	r.Gauge("runtime.heap.sys.bytes").Set(int64(ms.HeapSys))
-	r.Gauge("runtime.rss.bytes").Set(residentSetBytes())
+	r.Gauge("runtime.rss.bytes").Set(ReadRSSBytes())
 	r.Gauge("runtime.gc.count").Set(int64(ms.NumGC))
 	r.Gauge("runtime.gc.pause.total.ns").Set(int64(ms.PauseTotalNs))
 	if ms.NumGC > 0 {
@@ -46,10 +46,11 @@ func collectRuntime(r *Registry) {
 	}
 }
 
-// residentSetBytes reads the process RSS from /proc/self/statm (field 2,
+// ReadRSSBytes reads the process RSS from /proc/self/statm (field 2,
 // pages). Returns 0 on platforms or sandboxes where that is unavailable —
-// the gauge then reads as unknown rather than failing the snapshot.
-func residentSetBytes() int64 {
+// the gauge then reads as unknown rather than failing the snapshot. The
+// perf harness samples it directly for peak-RSS tracking.
+func ReadRSSBytes() int64 {
 	data, err := os.ReadFile("/proc/self/statm")
 	if err != nil {
 		return 0

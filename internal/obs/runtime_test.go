@@ -1,0 +1,136 @@
+package obs
+
+// The runtime collector's gauges must track the process: they move under
+// induced load, and surface through both snapshot serializations the debug
+// mux serves — JSON and the Prometheus exposition.
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+var runtimeGaugeNames = []string{
+	"runtime.goroutines",
+	"runtime.heap.alloc.bytes",
+	"runtime.heap.sys.bytes",
+	"runtime.rss.bytes",
+	"runtime.gc.count",
+	"runtime.gc.pause.total.ns",
+	"runtime.gc.pause.last.ns",
+}
+
+func TestRuntimeCollectorGaugesMoveUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	RegisterRuntimeCollector(r)
+	RegisterRuntimeCollector(r) // idempotent: must not double-install
+
+	runtime.GC() // at least one cycle so pause gauges are populated
+	before := r.Snapshot()
+
+	// Induce load: parked goroutines, live heap, forced GC cycles.
+	release := make(chan struct{})
+	done := make(chan struct{})
+	const parked = 32
+	for i := 0; i < parked; i++ {
+		go func() {
+			<-release
+			done <- struct{}{}
+		}()
+	}
+	hold := make([][]byte, 64)
+	for i := range hold {
+		hold[i] = make([]byte, 1<<20)
+	}
+	runtime.GC()
+	runtime.GC()
+
+	after := r.Snapshot()
+	runtime.KeepAlive(hold)
+	close(release)
+	for i := 0; i < parked; i++ {
+		<-done
+	}
+
+	for _, name := range runtimeGaugeNames {
+		if _, ok := after.Gauges[name]; !ok {
+			t.Errorf("gauge %s absent from snapshot", name)
+		}
+	}
+	if g := after.Gauges["runtime.goroutines"]; g < before.Gauges["runtime.goroutines"]+parked {
+		t.Errorf("runtime.goroutines = %d, want >= %d + %d parked",
+			g, before.Gauges["runtime.goroutines"], parked)
+	}
+	// 64 MiB held across the snapshot must register against the baseline.
+	if g := after.Gauges["runtime.heap.alloc.bytes"]; g < before.Gauges["runtime.heap.alloc.bytes"]+32<<20 {
+		t.Errorf("runtime.heap.alloc.bytes = %d, did not grow with 64MiB live", g)
+	}
+	if after.Gauges["runtime.gc.count"] <= before.Gauges["runtime.gc.count"] {
+		t.Errorf("runtime.gc.count did not advance across forced GC cycles")
+	}
+	if after.Gauges["runtime.gc.pause.total.ns"] <= 0 || after.Gauges["runtime.gc.pause.last.ns"] <= 0 {
+		t.Errorf("gc pause gauges not populated: total=%d last=%d",
+			after.Gauges["runtime.gc.pause.total.ns"], after.Gauges["runtime.gc.pause.last.ns"])
+	}
+	if rss := ReadRSSBytes(); rss > 0 && after.Gauges["runtime.rss.bytes"] <= 0 {
+		t.Errorf("runtime.rss.bytes = %d on a platform where statm reports %d",
+			after.Gauges["runtime.rss.bytes"], rss)
+	}
+}
+
+func TestRuntimeGaugesInBothExpositions(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	RegisterRuntimeCollector(r)
+	runtime.GC()
+	snap := r.Snapshot()
+
+	// JSON: the gauges must survive a marshal/unmarshal round trip.
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	for _, name := range runtimeGaugeNames {
+		if _, ok := back.Gauges[name]; !ok {
+			t.Errorf("gauge %s lost in JSON round trip", name)
+		}
+	}
+
+	// Prometheus: each gauge renders as a demon_runtime_* family.
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	for _, fam := range []string{
+		"demon_runtime_goroutines",
+		"demon_runtime_heap_alloc_bytes",
+		"demon_runtime_heap_sys_bytes",
+		"demon_runtime_rss_bytes",
+		"demon_runtime_gc_count",
+		"demon_runtime_gc_pause_total_ns",
+	} {
+		if !strings.Contains(text, "# TYPE "+fam+" gauge") || !strings.Contains(text, "\n"+fam+" ") {
+			t.Errorf("exposition lacks gauge family %s:\n%s", fam, text)
+		}
+	}
+}
+
+func TestReadRSSBytes(t *testing.T) {
+	rss := ReadRSSBytes()
+	if rss < 0 {
+		t.Fatalf("ReadRSSBytes = %d, want >= 0", rss)
+	}
+	// On Linux (where CI runs) statm exists and a Go test binary is at
+	// least a megabyte resident.
+	if rss > 0 && rss < 1<<20 {
+		t.Errorf("ReadRSSBytes = %d, implausibly small for a live process", rss)
+	}
+}

@@ -1,0 +1,199 @@
+package perf
+
+// The BENCH_<n>.json artifact: the schema-versioned, machine-readable
+// record of one suite run that demon-perf emits, CI uploads, and the
+// comparator judges regressions against. Everything a future reader needs
+// to interpret a number — build identity, seed, scale, iteration count,
+// per-iteration raw timings — rides inside the artifact, so two artifacts
+// from different PRs are comparable (or detectably incomparable) on their
+// own.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/version"
+)
+
+// SchemaVersion identifies the artifact layout. The comparator refuses to
+// judge artifacts with mismatched schemas.
+const SchemaVersion = 1
+
+// Artifact is one complete suite run.
+type Artifact struct {
+	// Schema is the artifact layout version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Number is the trajectory point this artifact represents (the <n> of
+	// BENCH_<n>.json); 0 for ad-hoc runs.
+	Number int `json:"number,omitempty"`
+	// Build is the identity of the binary that produced the artifact.
+	Build version.Info `json:"build"`
+	// GoMaxProcs and NumCPU describe the machine the suite ran on.
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Seed, Scale and Short are the effective suite parameters; the
+	// comparator only compares artifacts whose parameters match.
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	Short bool    `json:"short,omitempty"`
+	// Iterations is how many times each entry's op ran.
+	Iterations int `json:"iterations"`
+	// Entries holds one result per suite entry, in suite order.
+	Entries []EntryResult `json:"entries"`
+	// HeapTop is the run-wide top-N allocation attribution (alloc_space),
+	// present when profiling was enabled.
+	HeapTop []Hotspot `json:"heap_top,omitempty"`
+}
+
+// EntryResult is one suite entry's measurements.
+type EntryResult struct {
+	// Name is the entry name ("miner/ecut"); Workers the worker count the
+	// entry ran at (0 when the knob does not apply).
+	Name    string `json:"name"`
+	Workers int    `json:"workers,omitempty"`
+	// Blocks and Tx are the work units one op processes (Tx counts
+	// transactions, points, or requests depending on the entry).
+	Blocks int64 `json:"blocks"`
+	Tx     int64 `json:"tx"`
+	// IterNs are the raw per-iteration wall times, in run order — the
+	// comparator's variance awareness reads these, not just the summary.
+	IterNs []int64 `json:"iter_ns"`
+	// NsPerOp is the median iteration time; MinNs the fastest iteration.
+	NsPerOp int64 `json:"ns_per_op"`
+	MinNs   int64 `json:"min_ns"`
+	// AllocsPerOp and BytesPerOp are median per-iteration heap allocation
+	// counts and bytes.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// BlocksPerSec and TxPerSec are ingest throughput at the median time.
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	TxPerSec     float64 `json:"tx_per_sec"`
+	// PeakRSSBytes is the peak resident set sampled while the entry ran
+	// (0 where /proc is unavailable).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// GC pause distribution over the entry's iterations, and the number of
+	// cycles that completed during them.
+	GCPauseP50Ns int64 `json:"gc_pause_p50_ns,omitempty"`
+	GCPauseP99Ns int64 `json:"gc_pause_p99_ns,omitempty"`
+	GCPauseMaxNs int64 `json:"gc_pause_max_ns,omitempty"`
+	GCCycles     int64 `json:"gc_cycles,omitempty"`
+	// ThresholdScale widens the comparator's time threshold for inherently
+	// noisy end-to-end entries (1 when absent). Entries with a scale > 1
+	// gate on time only, never on allocation counts.
+	ThresholdScale float64 `json:"threshold_scale,omitempty"`
+	// Metrics is the obs-registry delta the entry produced across all its
+	// iterations (per-phase timers, per-strategy byte counters).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Hotspots is the entry's top-N CPU attribution, present when profiling
+	// was enabled and the entry ran long enough to collect samples;
+	// CPUProfile is the profile's file name inside the profile directory.
+	Hotspots   []Hotspot `json:"hotspots,omitempty"`
+	CPUProfile string    `json:"cpu_profile,omitempty"`
+}
+
+// Key is the comparator's entry identity: name plus the worker count.
+func (e EntryResult) Key() string {
+	if e.Workers > 0 {
+		return fmt.Sprintf("%s/w%d", e.Name, e.Workers)
+	}
+	return e.Name
+}
+
+// WriteJSON renders the artifact as indented JSON.
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteFile writes the artifact to path.
+func (a *Artifact) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadArtifact loads an artifact from path and checks its schema.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if a.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s: artifact schema %d, this binary reads %d", path, a.Schema, SchemaVersion)
+	}
+	return &a, nil
+}
+
+// WriteText renders the artifact as a human summary table, one entry per
+// line, followed by each entry's hotspot attribution when present.
+func (a *Artifact) WriteText(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("perf suite: schema %d", a.Schema)
+	if a.Number > 0 {
+		p("  point BENCH_%d", a.Number)
+	}
+	p("  seed %d  scale %g  iters %d  gomaxprocs %d", a.Seed, a.Scale, a.Iterations, a.GoMaxProcs)
+	if a.Short {
+		p("  (short)")
+	}
+	p("\nbuild: %s\n\n", a.Build)
+	p("%-24s %12s %12s %10s %12s %10s %10s %10s\n",
+		"entry", "ns/op", "min", "allocs/op", "bytes/op", "blocks/s", "tx/s", "peak-rss")
+	for _, e := range a.Entries {
+		p("%-24s %12s %12s %10d %12d %10.1f %10.0f %10s\n",
+			e.Key(), time.Duration(e.NsPerOp).String(), time.Duration(e.MinNs).String(),
+			e.AllocsPerOp, e.BytesPerOp, e.BlocksPerSec, e.TxPerSec, sizeString(e.PeakRSSBytes))
+	}
+	for _, e := range a.Entries {
+		if len(e.Hotspots) == 0 {
+			continue
+		}
+		p("\nhotspots %s (cpu):\n", e.Key())
+		for _, h := range e.Hotspots {
+			p("  %6.1f%% %12s  %s\n", h.Pct, time.Duration(h.Flat).String(), h.Func)
+		}
+	}
+	if len(a.HeapTop) > 0 {
+		p("\nheap (alloc_space, whole run):\n")
+		for _, h := range a.HeapTop {
+			p("  %6.1f%% %12s  %s\n", h.Pct, sizeString(h.Flat), h.Func)
+		}
+	}
+	return err
+}
+
+// sizeString renders a byte count with a binary unit suffix.
+func sizeString(n int64) string {
+	switch {
+	case n <= 0:
+		return "-"
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	}
+}

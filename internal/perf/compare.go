@@ -1,0 +1,227 @@
+package perf
+
+// The regression gate: `demon-perf compare OLD.json NEW.json` judges a new
+// artifact against a committed baseline with per-metric thresholds and
+// benchstat-style variance awareness. Wall time is inherently noisy, so a
+// time regression is only called when BOTH the minimum and the median of
+// the new run's iterations exceed the old run's by the threshold — the
+// minimum filters scheduler interference out of the new run, the median
+// filters a lucky old minimum. Allocation counts and bytes are
+// deterministic for the library entries, so they gate at tighter
+// thresholds; end-to-end entries (ThresholdScale > 1) gate on time only.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Thresholds are the fractional per-metric regression bounds (0.25 = a 25%
+// slowdown fails).
+type Thresholds struct {
+	// Time bounds ns/op growth (scaled per entry by its ThresholdScale).
+	Time float64
+	// Allocs bounds allocs/op growth; Bytes bounds bytes/op growth.
+	Allocs float64
+	Bytes  float64
+}
+
+// DefaultThresholds returns the gate's defaults: 25% time, 10% allocs, 15%
+// bytes.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Time: 0.25, Allocs: 0.10, Bytes: 0.15}
+}
+
+// Comparison floors: entries whose old value is below these are too small
+// to judge on that metric (a few allocations of jitter would dominate).
+const (
+	minGatedAllocs = 1000
+	minGatedBytes  = 64 << 10
+)
+
+// CompareRow is one metric comparison of one entry.
+type CompareRow struct {
+	// Entry is the EntryResult key; Metric is "time/op", "allocs/op" or
+	// "bytes/op".
+	Entry  string `json:"entry"`
+	Metric string `json:"metric"`
+	// Old and New are the compared summary values (median ns, allocs,
+	// bytes).
+	Old int64 `json:"old"`
+	New int64 `json:"new"`
+	// Delta is fractional change (+0.10 = 10% worse).
+	Delta float64 `json:"delta"`
+	// Verdict is "ok", "regression" or "improvement".
+	Verdict string `json:"verdict"`
+}
+
+// Comparison is the gate's full judgement.
+type Comparison struct {
+	Rows []CompareRow `json:"rows"`
+	// Regressions lists every failing "entry metric" pair; the gate exits
+	// nonzero when it is non-empty.
+	Regressions []string `json:"regressions,omitempty"`
+	// MissingInNew / AddedInNew are entries present in only one artifact
+	// (suite drift; reported, not failed).
+	MissingInNew []string `json:"missing_in_new,omitempty"`
+	AddedInNew   []string `json:"added_in_new,omitempty"`
+}
+
+// OK reports whether the gate passes.
+func (c *Comparison) OK() bool { return len(c.Regressions) == 0 }
+
+// Compare judges newA against oldA. It errors when the artifacts are not
+// comparable at all (schema, seed, scale or mode mismatch); entry drift is
+// reported in the result instead.
+func Compare(oldA, newA *Artifact, th Thresholds) (*Comparison, error) {
+	if oldA.Schema != newA.Schema {
+		return nil, fmt.Errorf("perf: artifact schemas differ (%d vs %d)", oldA.Schema, newA.Schema)
+	}
+	if oldA.Seed != newA.Seed || oldA.Scale != newA.Scale || oldA.Short != newA.Short {
+		return nil, fmt.Errorf("perf: artifacts are incomparable: old ran seed=%d scale=%g short=%v, new ran seed=%d scale=%g short=%v",
+			oldA.Seed, oldA.Scale, oldA.Short, newA.Seed, newA.Scale, newA.Short)
+	}
+	newByKey := make(map[string]EntryResult, len(newA.Entries))
+	for _, e := range newA.Entries {
+		newByKey[e.Key()] = e
+	}
+	oldKeys := make(map[string]bool, len(oldA.Entries))
+
+	c := &Comparison{}
+	for _, oldE := range oldA.Entries {
+		key := oldE.Key()
+		oldKeys[key] = true
+		newE, ok := newByKey[key]
+		if !ok {
+			c.MissingInNew = append(c.MissingInNew, key)
+			continue
+		}
+		compareEntry(c, key, oldE, newE, th)
+	}
+	for _, e := range newA.Entries {
+		if !oldKeys[e.Key()] {
+			c.AddedInNew = append(c.AddedInNew, e.Key())
+		}
+	}
+	sort.Strings(c.MissingInNew)
+	sort.Strings(c.AddedInNew)
+	return c, nil
+}
+
+func compareEntry(c *Comparison, key string, oldE, newE EntryResult, th Thresholds) {
+	scale := oldE.ThresholdScale
+	if scale < 1 {
+		scale = 1
+	}
+
+	// Time: dual min/median gate.
+	oldMin, newMin := minOf(oldE.IterNs), minOf(newE.IterNs)
+	oldMed, newMed := median(oldE.IterNs), median(newE.IterNs)
+	timeBound := 1 + th.Time*scale
+	row := CompareRow{Entry: key, Metric: "time/op", Old: oldMed, New: newMed, Delta: frac(oldMed, newMed), Verdict: "ok"}
+	switch {
+	case oldMin > 0 && oldMed > 0 &&
+		float64(newMin) > float64(oldMin)*timeBound &&
+		float64(newMed) > float64(oldMed)*timeBound:
+		row.Verdict = "regression"
+	case oldMed > 0 && float64(newMed) < float64(oldMed)*(1-th.Time):
+		row.Verdict = "improvement"
+	}
+	c.addRow(row)
+
+	// Allocation metrics: deterministic entries only.
+	if scale > 1 {
+		return
+	}
+	allocRow := CompareRow{Entry: key, Metric: "allocs/op", Old: oldE.AllocsPerOp, New: newE.AllocsPerOp,
+		Delta: frac(oldE.AllocsPerOp, newE.AllocsPerOp), Verdict: "ok"}
+	switch {
+	case oldE.AllocsPerOp >= minGatedAllocs && float64(newE.AllocsPerOp) > float64(oldE.AllocsPerOp)*(1+th.Allocs):
+		allocRow.Verdict = "regression"
+	case oldE.AllocsPerOp >= minGatedAllocs && float64(newE.AllocsPerOp) < float64(oldE.AllocsPerOp)*(1-th.Allocs):
+		allocRow.Verdict = "improvement"
+	}
+	c.addRow(allocRow)
+
+	byteRow := CompareRow{Entry: key, Metric: "bytes/op", Old: oldE.BytesPerOp, New: newE.BytesPerOp,
+		Delta: frac(oldE.BytesPerOp, newE.BytesPerOp), Verdict: "ok"}
+	switch {
+	case oldE.BytesPerOp >= minGatedBytes && float64(newE.BytesPerOp) > float64(oldE.BytesPerOp)*(1+th.Bytes):
+		byteRow.Verdict = "regression"
+	case oldE.BytesPerOp >= minGatedBytes && float64(newE.BytesPerOp) < float64(oldE.BytesPerOp)*(1-th.Bytes):
+		byteRow.Verdict = "improvement"
+	}
+	c.addRow(byteRow)
+}
+
+func (c *Comparison) addRow(row CompareRow) {
+	c.Rows = append(c.Rows, row)
+	if row.Verdict == "regression" {
+		c.Regressions = append(c.Regressions, row.Entry+" "+row.Metric)
+	}
+}
+
+// frac returns the fractional change old → new (0 when old is 0).
+func frac(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return float64(new-old) / float64(old)
+}
+
+// WriteText renders the comparison as an aligned verdict table plus a
+// one-line summary.
+func (c *Comparison) WriteText(w io.Writer, newE map[string]EntryResult) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("%-24s %-10s %14s %14s %8s  %s\n", "entry", "metric", "old", "new", "delta", "verdict")
+	for _, r := range c.Rows {
+		oldS, newS := fmt.Sprintf("%d", r.Old), fmt.Sprintf("%d", r.New)
+		if r.Metric == "time/op" {
+			oldS, newS = time.Duration(r.Old).String(), time.Duration(r.New).String()
+		}
+		p("%-24s %-10s %14s %14s %+7.1f%%  %s\n", r.Entry, r.Metric, oldS, newS, 100*r.Delta, r.Verdict)
+	}
+	for _, k := range c.MissingInNew {
+		p("note: entry %s is missing from the new artifact\n", k)
+	}
+	for _, k := range c.AddedInNew {
+		p("note: entry %s is new (no baseline)\n", k)
+	}
+	if c.OK() {
+		p("demon-perf compare: PASS (no regression across %d comparisons)\n", len(c.Rows))
+	} else {
+		p("demon-perf compare: FAIL (%d regression(s): %v)\n", len(c.Regressions), c.Regressions)
+		// Point the reader at the functions, not just the numbers: show the
+		// regressed entries' new hotspot tables when present.
+		shown := make(map[string]bool)
+		for _, reg := range c.Regressions {
+			var key string
+			fmt.Sscanf(reg, "%s", &key)
+			e, ok := newE[key]
+			if !ok || shown[key] || len(e.Hotspots) == 0 {
+				continue
+			}
+			shown[key] = true
+			p("hotspots %s (new run):\n", key)
+			for _, h := range e.Hotspots {
+				p("  %6.1f%% %12s  %s\n", h.Pct, time.Duration(h.Flat).String(), h.Func)
+			}
+		}
+	}
+	return err
+}
+
+// EntriesByKey indexes an artifact's entries for WriteText.
+func EntriesByKey(a *Artifact) map[string]EntryResult {
+	m := make(map[string]EntryResult, len(a.Entries))
+	for _, e := range a.Entries {
+		m[e.Key()] = e
+	}
+	return m
+}

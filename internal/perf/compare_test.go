@@ -1,0 +1,194 @@
+package perf
+
+// Comparator mechanics are fully deterministic: artifacts are constructed
+// by hand, including the synthetically inflated hot path the acceptance
+// criteria call for.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mkArtifact(entries ...EntryResult) *Artifact {
+	return &Artifact{Schema: SchemaVersion, Seed: 1, Scale: 1.0, Iterations: 3, Entries: entries}
+}
+
+func mkEntry(name string, workers int, iterNs []int64) EntryResult {
+	e := EntryResult{
+		Name:        name,
+		Workers:     workers,
+		Blocks:      8,
+		Tx:          8000,
+		IterNs:      iterNs,
+		NsPerOp:     median(iterNs),
+		MinNs:       minOf(iterNs),
+		AllocsPerOp: 50_000,
+		BytesPerOp:  4 << 20,
+	}
+	return e
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	a := mkArtifact(
+		mkEntry("miner/ecut", 1, []int64{100e6, 103e6, 101e6}),
+		mkEntry("serve/ingest", 0, []int64{500e6, 520e6, 510e6}),
+	)
+	c, err := Compare(a, a, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !c.OK() {
+		t.Fatalf("self-comparison regressed: %+v", c.Regressions)
+	}
+	for _, r := range c.Rows {
+		if r.Verdict != "ok" || r.Delta != 0 {
+			t.Errorf("self row %s %s: verdict %q delta %v", r.Entry, r.Metric, r.Verdict, r.Delta)
+		}
+	}
+}
+
+func TestCompareFlagsInflatedHotPath(t *testing.T) {
+	old := mkArtifact(mkEntry("miner/ecut", 1, []int64{100e6, 103e6, 101e6}))
+	inflated := mkArtifact(mkEntry("miner/ecut", 1, []int64{200e6, 207e6, 202e6}))
+
+	c, err := Compare(old, inflated, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if c.OK() {
+		t.Fatalf("2x inflated time passed the gate: %+v", c.Rows)
+	}
+	if got := c.Regressions[0]; got != "miner/ecut/w1 time/op" {
+		t.Errorf("regression = %q, want miner/ecut/w1 time/op", got)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf, EntriesByKey(inflated)); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("text output lacks FAIL:\n%s", buf.String())
+	}
+}
+
+func TestCompareVarianceAwareness(t *testing.T) {
+	// Median above threshold but minimum inside it: the new run matched the
+	// old best at least once, so the slowdown is noise, not a regression.
+	old := mkArtifact(mkEntry("miner/ecut", 1, []int64{100e6, 100e6, 100e6}))
+	noisy := mkArtifact(mkEntry("miner/ecut", 1, []int64{104e6, 400e6, 400e6}))
+	c, err := Compare(old, noisy, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !c.OK() {
+		t.Errorf("noisy-but-min-stable run regressed: %+v", c.Regressions)
+	}
+
+	// Minimum above threshold but median inside it: one slow baseline
+	// iteration must not fail a steady run either.
+	steady := mkArtifact(mkEntry("miner/ecut", 1, []int64{130e6, 90e6, 95e6}))
+	c, err = Compare(old, steady, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !c.OK() {
+		t.Errorf("median-stable run regressed: %+v", c.Regressions)
+	}
+}
+
+func TestCompareAllocGates(t *testing.T) {
+	old := mkArtifact(mkEntry("miner/ecut", 1, []int64{100e6, 100e6, 100e6}))
+	worse := mkArtifact(mkEntry("miner/ecut", 1, []int64{100e6, 100e6, 100e6}))
+	worse.Entries[0].AllocsPerOp = old.Entries[0].AllocsPerOp * 2
+	worse.Entries[0].BytesPerOp = old.Entries[0].BytesPerOp * 2
+
+	c, err := Compare(old, worse, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(c.Regressions) != 2 {
+		t.Fatalf("regressions = %v, want allocs/op and bytes/op", c.Regressions)
+	}
+
+	// Entries below the absolute floors never gate on allocation metrics.
+	tiny := mkArtifact(mkEntry("count/ecut", 0, []int64{1e6, 1e6, 1e6}))
+	tiny.Entries[0].AllocsPerOp = 10
+	tiny.Entries[0].BytesPerOp = 100
+	tinyWorse := mkArtifact(mkEntry("count/ecut", 0, []int64{1e6, 1e6, 1e6}))
+	tinyWorse.Entries[0].AllocsPerOp = 100
+	tinyWorse.Entries[0].BytesPerOp = 1000
+	c, err = Compare(tiny, tinyWorse, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !c.OK() {
+		t.Errorf("sub-floor alloc growth regressed: %+v", c.Regressions)
+	}
+}
+
+func TestCompareThresholdScale(t *testing.T) {
+	// An end-to-end entry with ThresholdScale 2 tolerates up to 50% time
+	// growth at the default 25% threshold, and never gates on allocations.
+	old := mkArtifact(mkEntry("serve/ingest", 0, []int64{100e6, 100e6, 100e6}))
+	old.Entries[0].ThresholdScale = 2.0
+	within := mkArtifact(mkEntry("serve/ingest", 0, []int64{140e6, 145e6, 142e6}))
+	within.Entries[0].AllocsPerOp = old.Entries[0].AllocsPerOp * 10
+
+	c, err := Compare(old, within, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !c.OK() {
+		t.Errorf("scaled-threshold entry regressed at +42%%: %+v", c.Regressions)
+	}
+	for _, r := range c.Rows {
+		if r.Metric != "time/op" {
+			t.Errorf("end-to-end entry gated on %s", r.Metric)
+		}
+	}
+
+	beyond := mkArtifact(mkEntry("serve/ingest", 0, []int64{160e6, 165e6, 162e6}))
+	c, err = Compare(old, beyond, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if c.OK() {
+		t.Errorf("+60%% on a 2x-scaled entry passed the gate")
+	}
+}
+
+func TestCompareEntryDriftAndIncomparable(t *testing.T) {
+	old := mkArtifact(
+		mkEntry("miner/ecut", 1, []int64{100e6}),
+		mkEntry("gone/entry", 0, []int64{100e6}),
+	)
+	niu := mkArtifact(
+		mkEntry("miner/ecut", 1, []int64{100e6}),
+		mkEntry("fresh/entry", 0, []int64{100e6}),
+	)
+	c, err := Compare(old, niu, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !c.OK() {
+		t.Errorf("entry drift failed the gate: %+v", c.Regressions)
+	}
+	if len(c.MissingInNew) != 1 || c.MissingInNew[0] != "gone/entry" {
+		t.Errorf("MissingInNew = %v", c.MissingInNew)
+	}
+	if len(c.AddedInNew) != 1 || c.AddedInNew[0] != "fresh/entry" {
+		t.Errorf("AddedInNew = %v", c.AddedInNew)
+	}
+
+	otherSeed := mkArtifact(mkEntry("miner/ecut", 1, []int64{100e6}))
+	otherSeed.Seed = 2
+	if _, err := Compare(old, otherSeed, DefaultThresholds()); err == nil {
+		t.Errorf("seed mismatch did not error")
+	}
+	otherSchema := mkArtifact(mkEntry("miner/ecut", 1, []int64{100e6}))
+	otherSchema.Schema = SchemaVersion + 1
+	if _, err := Compare(old, otherSchema, DefaultThresholds()); err == nil {
+		t.Errorf("schema mismatch did not error")
+	}
+}

@@ -1,0 +1,323 @@
+// Package perf is the repeatable performance-trajectory harness behind
+// cmd/demon-perf (ROADMAP item 3): a pinned suite of DEMON hot-path
+// scenarios — counting strategies over a Quest environment, the four miners
+// at workers {1, GOMAXPROCS}, the proxysim trace through the window miner,
+// and a served end-to-end ingest through internal/client — each run N times
+// under one process, measured for wall time, allocations, ingest
+// throughput, peak RSS, GC pauses and obs-registry deltas, and emitted as a
+// schema-versioned BENCH_<n>.json artifact stamped with the build identity.
+//
+// Optionally each entry captures a CPU profile (and the run a heap
+// profile) via runtime/pprof; the harness parses the profiles itself (see
+// pprofparse.go) into top-N hotspot tables embedded in the artifact, so a
+// regression flagged by the comparator points at a function, not just a
+// number.
+//
+// The suite is deliberately deterministic where the code is: fixed seeds,
+// fixed datasets, fresh model state per iteration. What the machine adds —
+// scheduling, frequency scaling, disk — the comparator absorbs with
+// benchstat-style min/median dual gating (see compare.go).
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/demon-mining/demon/internal/obs"
+	"github.com/demon-mining/demon/internal/version"
+)
+
+// Config parameterizes one suite run. The zero value selects the pinned
+// defaults; Short shrinks datasets and iterations to CI size.
+type Config struct {
+	// Scale multiplies dataset sizes (default 1.0 = the suite's pinned
+	// laptop-scale sizes).
+	Scale float64
+	// Short selects the CI-sized datasets and iteration count.
+	Short bool
+	// Iterations is how many times each entry's op runs (default 5, 3 in
+	// short mode). More iterations tighten the comparator's min/median.
+	Iterations int
+	// Seed fixes all data generation (default 1).
+	Seed int64
+	// TopN bounds the hotspot tables (default 5).
+	TopN int
+	// Number stamps the artifact's trajectory point (the <n> of
+	// BENCH_<n>.json); 0 for ad-hoc runs.
+	Number int
+	// ProfileDir, when non-empty, enables per-entry CPU profiles and a
+	// run-wide heap profile, written there and parsed into the artifact's
+	// hotspot tables. The directory is created if missing.
+	ProfileDir string
+	// Select restricts the suite to the named entries (every worker variant
+	// of a selected name runs); nil or empty runs everything.
+	Select map[string]bool
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Iterations <= 0 {
+		if c.Short {
+			c.Iterations = 3
+		} else {
+			c.Iterations = 5
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TopN <= 0 {
+		c.TopN = 5
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Prepared is one entry's ready-to-run state: Setup has generated the
+// datasets, so Run times nothing but the scenario itself.
+type Prepared struct {
+	// Blocks and Tx are the work units one Run call processes.
+	Blocks, Tx int64
+	// Run executes one op over fresh model state. It must do the same work
+	// every call.
+	Run func() error
+	// Cleanup optionally releases setup state after the last iteration.
+	Cleanup func()
+	// ThresholdScale widens the comparator's time threshold for this entry
+	// (0 or 1 = normal). End-to-end entries that cross a real network stack
+	// and filesystem set it > 1 and are gated on time only.
+	ThresholdScale float64
+}
+
+// Entry is one suite member.
+type Entry struct {
+	// Name groups the entry ("miner/ecut"); Workers is the parallelism the
+	// entry runs at (0 when the knob does not apply).
+	Name    string
+	Workers int
+	// Setup builds the entry's datasets and returns its op.
+	Setup func(cfg Config) (*Prepared, error)
+}
+
+// Key is the entry's identity in artifacts and the comparator.
+func (e Entry) Key() string {
+	if e.Workers > 0 {
+		return fmt.Sprintf("%s/w%d", e.Name, e.Workers)
+	}
+	return e.Name
+}
+
+// Run executes the pinned suite under cfg and returns the artifact.
+func Run(cfg Config) (*Artifact, error) {
+	return RunEntries(cfg, Suite(cfg))
+}
+
+// RunEntries executes the given entries under cfg. Tests inject synthetic
+// entries here; demon-perf always runs the pinned Suite.
+func RunEntries(cfg Config, entries []Entry) (*Artifact, error) {
+	cfg = cfg.withDefaults()
+	reg := obs.Enable()
+	obs.RegisterRuntimeCollector(reg)
+
+	if len(cfg.Select) > 0 {
+		kept := entries[:0:0]
+		for _, e := range entries {
+			if cfg.Select[e.Name] || cfg.Select[e.Key()] {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("perf: no suite entry matches the selection (see demon-perf list)")
+		}
+		entries = kept
+	}
+	if cfg.ProfileDir != "" {
+		if err := os.MkdirAll(cfg.ProfileDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	art := &Artifact{
+		Schema:     SchemaVersion,
+		Number:     cfg.Number,
+		Build:      version.Get(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       cfg.Seed,
+		Scale:      cfg.Scale,
+		Short:      cfg.Short,
+		Iterations: cfg.Iterations,
+	}
+	for _, e := range entries {
+		res, err := runEntry(cfg, reg, e)
+		if err != nil {
+			return nil, fmt.Errorf("perf: entry %s: %w", e.Key(), err)
+		}
+		art.Entries = append(art.Entries, res)
+	}
+
+	if cfg.ProfileDir != "" {
+		if err := writeHeapTop(cfg, art); err != nil {
+			return nil, err
+		}
+	}
+	return art, nil
+}
+
+// runEntry measures one entry: Iterations ops with per-iteration wall time,
+// allocation deltas and GC pauses, a peak-RSS sampler and an obs-registry
+// delta across the whole entry, plus an optional CPU profile spanning all
+// iterations.
+func runEntry(cfg Config, reg *obs.Registry, e Entry) (EntryResult, error) {
+	key := e.Key()
+	cfg.Logf("perf: setup %s", key)
+	prep, err := e.Setup(cfg)
+	if err != nil {
+		return EntryResult{}, err
+	}
+	if prep.Cleanup != nil {
+		defer prep.Cleanup()
+	}
+	res := EntryResult{
+		Name:           e.Name,
+		Workers:        e.Workers,
+		Blocks:         prep.Blocks,
+		Tx:             prep.Tx,
+		ThresholdScale: prep.ThresholdScale,
+	}
+
+	var cpuFile *os.File
+	if cfg.ProfileDir != "" {
+		name := strings.ReplaceAll(key, "/", "_") + ".cpu.pb.gz"
+		cpuFile, err = os.Create(filepath.Join(cfg.ProfileDir, name))
+		if err != nil {
+			return res, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return res, fmt.Errorf("start cpu profile: %w", err)
+		}
+		res.CPUProfile = name
+	}
+
+	before := reg.Snapshot()
+	sampler := startRSSSampler(10 * time.Millisecond)
+	iterTimer := reg.Timer("perf.iteration.ns")
+	iterCount := reg.Counter("perf.iterations")
+
+	var allocs, bytes, pauses []int64
+	runErr := func() error {
+		for i := 0; i < cfg.Iterations; i++ {
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			if err := prep.Run(); err != nil {
+				return fmt.Errorf("iteration %d: %w", i+1, err)
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			sampler.Sample()
+			iterTimer.Record(elapsed)
+			iterCount.Inc()
+			res.IterNs = append(res.IterNs, int64(elapsed))
+			allocs = append(allocs, int64(m1.Mallocs-m0.Mallocs))
+			bytes = append(bytes, int64(m1.TotalAlloc-m0.TotalAlloc))
+			res.GCCycles += int64(m1.NumGC - m0.NumGC)
+			// Pauses of the cycles that completed during this iteration,
+			// read from the 256-entry ring (cycle c lands at (c+255)%256).
+			first := m0.NumGC + 1
+			if m1.NumGC > first+255 {
+				first = m1.NumGC - 255
+			}
+			for c := first; c <= m1.NumGC; c++ {
+				pauses = append(pauses, int64(m1.PauseNs[(c+255)%256]))
+			}
+			cfg.Logf("perf: %s iter %d/%d: %v", key, i+1, cfg.Iterations, elapsed)
+		}
+		return nil
+	}()
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuFile.Close(); runErr == nil && cerr != nil {
+			runErr = cerr
+		}
+	}
+	res.PeakRSSBytes = sampler.Stop()
+	reg.Gauge("perf.rss.peak.bytes").Set(res.PeakRSSBytes)
+	if runErr != nil {
+		return res, runErr
+	}
+
+	delta := reg.Snapshot().Delta(before)
+	res.Metrics = &delta
+	res.NsPerOp = median(res.IterNs)
+	res.MinNs = minOf(res.IterNs)
+	res.AllocsPerOp = median(allocs)
+	res.BytesPerOp = median(bytes)
+	if res.NsPerOp > 0 {
+		res.BlocksPerSec = float64(res.Blocks) / (float64(res.NsPerOp) / 1e9)
+		res.TxPerSec = float64(res.Tx) / (float64(res.NsPerOp) / 1e9)
+	}
+	res.GCPauseP50Ns = percentile(pauses, 0.50)
+	res.GCPauseP99Ns = percentile(pauses, 0.99)
+	if len(pauses) > 0 {
+		sorted := append([]int64(nil), pauses...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.GCPauseMaxNs = sorted[len(sorted)-1]
+	}
+
+	if res.CPUProfile != "" {
+		data, err := os.ReadFile(filepath.Join(cfg.ProfileDir, res.CPUProfile))
+		if err != nil {
+			return res, err
+		}
+		spots, err := TopHotspots(data, "cpu", cfg.TopN)
+		if err != nil {
+			return res, fmt.Errorf("parse cpu profile: %w", err)
+		}
+		res.Hotspots = spots
+	}
+	return res, nil
+}
+
+// writeHeapTop writes the run-wide heap profile and parses its alloc_space
+// attribution into the artifact.
+func writeHeapTop(cfg Config, art *Artifact) error {
+	path := filepath.Join(cfg.ProfileDir, "heap.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // flush the most recent allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spots, err := TopHotspots(data, "alloc_space", cfg.TopN)
+	if err != nil {
+		return fmt.Errorf("perf: parse heap profile: %w", err)
+	}
+	art.HeapTop = spots
+	return nil
+}

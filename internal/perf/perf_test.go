@@ -1,0 +1,209 @@
+package perf
+
+// Driver tests run synthetic entries (cheap, deterministic work) through
+// the full measurement pipeline — timing, allocation deltas, RSS sampling,
+// profiling, artifact round-trip — without paying for the real suite.
+// Timing assertions are deliberately loose: mechanics, not stability, are
+// under test here (self-stability is demon-perf's own acceptance check).
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/demon-mining/demon/internal/obs"
+)
+
+func syntheticEntries(busy time.Duration, allocMiB int) []Entry {
+	setup := func(Config) (*Prepared, error) {
+		return &Prepared{
+			Blocks: 4,
+			Tx:     4000,
+			Run: func() error {
+				burnCPU(busy)
+				hold := make([][]byte, allocMiB)
+				for i := range hold {
+					hold[i] = make([]byte, 1<<20)
+				}
+				burnSink += uint64(len(hold))
+				return nil
+			},
+		}, nil
+	}
+	return []Entry{{Name: "synthetic/busy", Workers: 1, Setup: setup}}
+}
+
+func TestRunEntriesArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burns CPU for profile samples")
+	}
+	prev := obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+
+	dir := t.TempDir()
+	cfg := Config{Iterations: 2, Number: 99, ProfileDir: dir, TopN: 3, Logf: t.Logf}
+	art, err := RunEntries(cfg, syntheticEntries(150*time.Millisecond, 8))
+	if err != nil {
+		t.Fatalf("RunEntries: %v", err)
+	}
+
+	if art.Schema != SchemaVersion || art.Number != 99 || art.Iterations != 2 {
+		t.Errorf("artifact header wrong: %+v", art)
+	}
+	if art.Build.Go == "" {
+		t.Errorf("artifact lacks build identity")
+	}
+	if len(art.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(art.Entries))
+	}
+	e := art.Entries[0]
+	if e.Key() != "synthetic/busy/w1" {
+		t.Errorf("key = %q", e.Key())
+	}
+	if len(e.IterNs) != 2 {
+		t.Fatalf("iterations recorded = %d", len(e.IterNs))
+	}
+	if e.NsPerOp < int64(100*time.Millisecond) {
+		t.Errorf("ns/op = %v, want >= 100ms of busy work", time.Duration(e.NsPerOp))
+	}
+	if e.MinNs > e.NsPerOp {
+		t.Errorf("min %d > median %d", e.MinNs, e.NsPerOp)
+	}
+	// 8 MiB allocated per op must show in the allocation delta.
+	if e.BytesPerOp < 8<<20 {
+		t.Errorf("bytes/op = %d, want >= 8MiB", e.BytesPerOp)
+	}
+	if e.BlocksPerSec <= 0 || e.TxPerSec <= 0 {
+		t.Errorf("throughput not derived: %v blocks/s %v tx/s", e.BlocksPerSec, e.TxPerSec)
+	}
+	if e.PeakRSSBytes <= 0 && obs.ReadRSSBytes() > 0 {
+		t.Errorf("peak RSS not sampled on a platform that reports RSS")
+	}
+	if e.Metrics == nil {
+		t.Fatalf("metrics delta absent")
+	}
+	if tm, ok := e.Metrics.Timers["perf.iteration.ns"]; !ok || tm.Count != 2 {
+		t.Errorf("perf.iteration.ns delta = %+v, want count 2", e.Metrics.Timers)
+	}
+	if e.CPUProfile == "" {
+		t.Fatalf("cpu profile not recorded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, e.CPUProfile)); err != nil {
+		t.Errorf("cpu profile file: %v", err)
+	}
+	if len(e.Hotspots) == 0 {
+		t.Errorf("hotspot table empty for a 300ms-busy entry")
+	}
+	if len(art.HeapTop) == 0 {
+		t.Errorf("run-wide heap attribution empty")
+	}
+
+	// Round-trip through the file format the comparator reads.
+	path := filepath.Join(dir, "BENCH_test.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatalf("ReadArtifact: %v", err)
+	}
+	if back.Entries[0].NsPerOp != e.NsPerOp || back.Entries[0].Key() != e.Key() {
+		t.Errorf("round-trip mutated the artifact")
+	}
+
+	// A run is comparable against itself.
+	c, err := Compare(art, back, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !c.OK() {
+		t.Errorf("artifact does not self-compare clean: %+v", c.Regressions)
+	}
+}
+
+func TestRunEntriesSelect(t *testing.T) {
+	prev := obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+
+	entries := []Entry{
+		{Name: "a", Setup: func(Config) (*Prepared, error) {
+			return &Prepared{Blocks: 1, Tx: 1, Run: func() error { return nil }}, nil
+		}},
+		{Name: "b", Setup: func(Config) (*Prepared, error) {
+			t.Fatal("unselected entry ran")
+			return nil, nil
+		}},
+	}
+	art, err := RunEntries(Config{Iterations: 1, Select: map[string]bool{"a": true}}, entries)
+	if err != nil {
+		t.Fatalf("RunEntries: %v", err)
+	}
+	if len(art.Entries) != 1 || art.Entries[0].Name != "a" {
+		t.Errorf("selection failed: %+v", art.Entries)
+	}
+	if _, err := RunEntries(Config{Iterations: 1, Select: map[string]bool{"nope": true}}, entries); err == nil {
+		t.Errorf("empty selection did not error")
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	cfg := Config{Short: true}.withDefaults()
+	entries := Suite(cfg)
+	seen := make(map[string]bool)
+	var haveServe, haveCount, haveProxy bool
+	for _, e := range entries {
+		if seen[e.Key()] {
+			t.Errorf("duplicate suite key %s", e.Key())
+		}
+		seen[e.Key()] = true
+		switch e.Name {
+		case "serve/ingest":
+			haveServe = true
+		case "count/ecut", "count/ecutplus":
+			haveCount = true
+		case "proxysim/window":
+			haveProxy = true
+		}
+	}
+	if !haveServe || !haveCount || !haveProxy {
+		t.Errorf("suite misses a pinned scenario: serve=%v count=%v proxy=%v", haveServe, haveCount, haveProxy)
+	}
+	for _, name := range []string{"miner/ecut", "miner/ecutplus", "miner/window", "miner/cluster"} {
+		if !seen[name+"/w1"] {
+			t.Errorf("suite misses %s/w1", name)
+		}
+	}
+}
+
+// TestSuiteEntriesExecute runs one iteration of a few real suite entries at
+// tiny scale — the wiring against the miners, the bench env and the serving
+// stack must hold together, whatever the timings are.
+func TestSuiteEntriesExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real miners")
+	}
+	prev := obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+
+	cfg := Config{Short: true, Scale: 0.2, Iterations: 1, Logf: t.Logf,
+		Select: map[string]bool{"miner/ecut": true, "count/ecut": true, "serve/ingest": true}}
+	art, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(art.Entries) < 3 {
+		t.Fatalf("entries = %d, want >= 3 (both worker variants of miner/ecut may collapse on 1 CPU)", len(art.Entries))
+	}
+	for _, e := range art.Entries {
+		if e.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %d", e.Key(), e.NsPerOp)
+		}
+		if e.Blocks <= 0 || e.Tx <= 0 {
+			t.Errorf("%s: work units missing (%d blocks, %d tx)", e.Key(), e.Blocks, e.Tx)
+		}
+		if e.Metrics == nil {
+			t.Errorf("%s: no metrics delta", e.Key())
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package perf
+
+// Minimal reader for the pprof protobuf profile format that runtime/pprof
+// emits: just enough of the proto3 wire format to resolve each sample's
+// value to its leaf function name, so the harness can embed a top-N hotspot
+// attribution table in the BENCH artifact without depending on
+// github.com/google/pprof. Unknown fields are skipped, so profiles from
+// newer toolchains still parse.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Hotspot is one row of a profile attribution table: the flat (self) value
+// a function accumulated and its share of the profile total.
+type Hotspot struct {
+	// Func is the fully qualified function name the samples resolve to
+	// (an address literal when the profile carries no symbol for it).
+	Func string `json:"func"`
+	// Flat is the function's self value in Unit (nanoseconds for CPU
+	// profiles, bytes for alloc_space).
+	Flat int64 `json:"flat"`
+	// Pct is Flat as a percentage of the profile total.
+	Pct float64 `json:"pct"`
+	// Unit is the sample type's unit as recorded in the profile.
+	Unit string `json:"unit"`
+}
+
+// TopHotspots parses a (possibly gzip-compressed) pprof profile and returns
+// the top-n functions by flat self value of the named sample type ("cpu",
+// "alloc_space", ...). An empty sampleType selects the profile's last value
+// column, which is the conventional default (cpu nanoseconds, alloc bytes).
+func TopHotspots(data []byte, sampleType string, n int) ([]Hotspot, error) {
+	p, err := parseProfile(data)
+	if err != nil {
+		return nil, err
+	}
+	idx := len(p.sampleTypes) - 1
+	if sampleType != "" {
+		idx = -1
+		for i, st := range p.sampleTypes {
+			if st.Type == sampleType {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("perf: profile has no sample type %q", sampleType)
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("perf: profile carries no sample types")
+	}
+	return p.topFlat(idx, n), nil
+}
+
+type profValueType struct{ Type, Unit string }
+
+type profSample struct {
+	locs []uint64
+	vals []int64
+}
+
+type profLocation struct {
+	funcID uint64
+	addr   uint64
+}
+
+type profile struct {
+	sampleTypes []profValueType
+	samples     []profSample
+	locations   map[uint64]profLocation
+	funcNames   map[uint64]string
+}
+
+// topFlat aggregates the chosen value column by leaf function.
+func (p *profile) topFlat(valueIndex, n int) []Hotspot {
+	unit := ""
+	if valueIndex < len(p.sampleTypes) {
+		unit = p.sampleTypes[valueIndex].Unit
+	}
+	agg := make(map[string]int64)
+	var total int64
+	for _, s := range p.samples {
+		if valueIndex >= len(s.vals) || len(s.locs) == 0 {
+			continue
+		}
+		v := s.vals[valueIndex]
+		if v == 0 {
+			continue
+		}
+		agg[p.leafName(s.locs[0])] += v
+		total += v
+	}
+	spots := make([]Hotspot, 0, len(agg))
+	for fn, v := range agg {
+		spots = append(spots, Hotspot{Func: fn, Flat: v, Unit: unit})
+	}
+	sort.Slice(spots, func(i, j int) bool {
+		if spots[i].Flat != spots[j].Flat {
+			return spots[i].Flat > spots[j].Flat
+		}
+		return spots[i].Func < spots[j].Func
+	})
+	if n > 0 && len(spots) > n {
+		spots = spots[:n]
+	}
+	for i := range spots {
+		if total > 0 {
+			spots[i].Pct = 100 * float64(spots[i].Flat) / float64(total)
+		}
+	}
+	return spots
+}
+
+// leafName resolves a location ID to its innermost function name.
+func (p *profile) leafName(locID uint64) string {
+	loc, ok := p.locations[locID]
+	if !ok {
+		return fmt.Sprintf("location#%d", locID)
+	}
+	if name, ok := p.funcNames[loc.funcID]; ok && name != "" {
+		return name
+	}
+	return fmt.Sprintf("0x%x", loc.addr)
+}
+
+// --- proto3 wire-format plumbing ---
+
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) done() bool { return r.off >= len(r.b) }
+
+func (r *wireReader) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if r.off >= len(r.b) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		c := r.b[r.off]
+		r.off++
+		if shift >= 64 {
+			return 0, fmt.Errorf("perf: varint overflows uint64")
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+// tag reads one field tag, returning the field number and wire type.
+func (r *wireReader) tag() (int, int, error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytesField reads a length-delimited field body.
+func (r *wireReader) bytesField() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.off) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out, nil
+}
+
+// skip discards one field body of the given wire type.
+func (r *wireReader) skip(wireType int) error {
+	switch wireType {
+	case 0: // varint
+		_, err := r.varint()
+		return err
+	case 1: // fixed64
+		if len(r.b)-r.off < 8 {
+			return io.ErrUnexpectedEOF
+		}
+		r.off += 8
+		return nil
+	case 2: // length-delimited
+		_, err := r.bytesField()
+		return err
+	case 5: // fixed32
+		if len(r.b)-r.off < 4 {
+			return io.ErrUnexpectedEOF
+		}
+		r.off += 4
+		return nil
+	default:
+		return fmt.Errorf("perf: unsupported wire type %d", wireType)
+	}
+}
+
+// repeatedUint64 reads a repeated uint64 field body that may be packed
+// (wire type 2) or a single scalar (wire type 0).
+func repeatedUint64(r *wireReader, wireType int, into []uint64) ([]uint64, error) {
+	if wireType == 0 {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(into, v), nil
+	}
+	body, err := r.bytesField()
+	if err != nil {
+		return nil, err
+	}
+	pr := &wireReader{b: body}
+	for !pr.done() {
+		v, err := pr.varint()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, v)
+	}
+	return into, nil
+}
+
+func parseProfile(data []byte) (*profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("perf: gunzip profile: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("perf: gunzip profile: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("perf: gunzip profile: %w", err)
+		}
+	}
+
+	p := &profile{
+		locations: make(map[uint64]profLocation),
+		funcNames: make(map[uint64]string),
+	}
+	var strtab []string
+	// String indices are resolved after the full pass: the string table may
+	// appear anywhere in the message.
+	type vtIdx struct{ typ, unit uint64 }
+	type fnIdx struct{ id, name uint64 }
+	var vts []vtIdx
+	var fns []fnIdx
+
+	r := &wireReader{b: data}
+	for !r.done() {
+		field, wt, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // sample_type: ValueType{type=1, unit=2}
+			body, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var vt vtIdx
+			vr := &wireReader{b: body}
+			for !vr.done() {
+				f, w, err := vr.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 1:
+					if vt.typ, err = vr.varint(); err != nil {
+						return nil, err
+					}
+				case 2:
+					if vt.unit, err = vr.varint(); err != nil {
+						return nil, err
+					}
+				default:
+					if err := vr.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			vts = append(vts, vt)
+		case 2: // sample: Sample{location_id=1 repeated, value=2 repeated}
+			body, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var s profSample
+			sr := &wireReader{b: body}
+			for !sr.done() {
+				f, w, err := sr.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 1:
+					if s.locs, err = repeatedUint64(sr, w, s.locs); err != nil {
+						return nil, err
+					}
+				case 2:
+					var vals []uint64
+					if vals, err = repeatedUint64(sr, w, nil); err != nil {
+						return nil, err
+					}
+					for _, v := range vals {
+						s.vals = append(s.vals, int64(v))
+					}
+				default:
+					if err := sr.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location: Location{id=1, address=3, line=4 (Line{function_id=1})}
+			body, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var id uint64
+			var loc profLocation
+			lr := &wireReader{b: body}
+			for !lr.done() {
+				f, w, err := lr.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 1:
+					if id, err = lr.varint(); err != nil {
+						return nil, err
+					}
+				case 3:
+					if loc.addr, err = lr.varint(); err != nil {
+						return nil, err
+					}
+				case 4:
+					line, err := lr.bytesField()
+					if err != nil {
+						return nil, err
+					}
+					// The first Line of a location is its innermost frame.
+					if loc.funcID == 0 {
+						nr := &wireReader{b: line}
+						for !nr.done() {
+							lf, lw, err := nr.tag()
+							if err != nil {
+								return nil, err
+							}
+							if lf == 1 {
+								if loc.funcID, err = nr.varint(); err != nil {
+									return nil, err
+								}
+							} else if err := nr.skip(lw); err != nil {
+								return nil, err
+							}
+						}
+					}
+				default:
+					if err := lr.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			p.locations[id] = loc
+		case 5: // function: Function{id=1, name=2}
+			body, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var fn fnIdx
+			fr := &wireReader{b: body}
+			for !fr.done() {
+				f, w, err := fr.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 1:
+					if fn.id, err = fr.varint(); err != nil {
+						return nil, err
+					}
+				case 2:
+					if fn.name, err = fr.varint(); err != nil {
+						return nil, err
+					}
+				default:
+					if err := fr.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			fns = append(fns, fn)
+		case 6: // string_table entry
+			s, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(s))
+		default:
+			if err := r.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, vt := range vts {
+		p.sampleTypes = append(p.sampleTypes, profValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	for _, fn := range fns {
+		p.funcNames[fn.id] = str(fn.name)
+	}
+	return p, nil
+}

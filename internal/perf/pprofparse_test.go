@@ -1,0 +1,122 @@
+package perf
+
+// The pprof parser is validated against real profiles emitted by this
+// process's runtime/pprof — the exact producer the harness consumes — plus
+// hostile inputs.
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// burnCPU spins computing something the compiler cannot elide, long enough
+// for the 100 Hz profiler to collect samples.
+var burnSink uint64
+
+//go:noinline
+func burnCPU(d time.Duration) {
+	deadline := time.Now().Add(d)
+	v := uint64(88172645463325252)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1<<14; i++ {
+			v ^= v << 13
+			v ^= v >> 7
+			v ^= v << 17
+		}
+		burnSink = v
+	}
+}
+
+func TestTopHotspotsCPUProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burns 300ms of CPU")
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	burnCPU(300 * time.Millisecond)
+	pprof.StopCPUProfile()
+
+	spots, err := TopHotspots(buf.Bytes(), "cpu", 10)
+	if err != nil {
+		t.Fatalf("TopHotspots: %v", err)
+	}
+	if len(spots) == 0 {
+		t.Fatalf("no hotspots parsed from a 300ms CPU profile")
+	}
+	found := false
+	var total float64
+	for _, h := range spots {
+		if h.Flat <= 0 {
+			t.Errorf("hotspot %q has non-positive flat %d", h.Func, h.Flat)
+		}
+		if h.Unit != "nanoseconds" {
+			t.Errorf("hotspot %q unit = %q, want nanoseconds", h.Func, h.Unit)
+		}
+		total += h.Pct
+		if strings.Contains(h.Func, "burnCPU") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("burnCPU not attributed in hotspots: %+v", spots)
+	}
+	if total > 100.5 {
+		t.Errorf("hotspot percentages sum to %.1f > 100", total)
+	}
+	// Rows must arrive hottest-first.
+	for i := 1; i < len(spots); i++ {
+		if spots[i].Flat > spots[i-1].Flat {
+			t.Errorf("hotspots not sorted: %d before %d", spots[i-1].Flat, spots[i].Flat)
+		}
+	}
+}
+
+func TestTopHotspotsHeapProfile(t *testing.T) {
+	// Allocate something attributable.
+	hold := make([][]byte, 64)
+	for i := range hold {
+		hold[i] = make([]byte, 64<<10)
+	}
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.WriteHeapProfile(&buf); err != nil {
+		t.Fatalf("WriteHeapProfile: %v", err)
+	}
+	runtime.KeepAlive(hold)
+
+	spots, err := TopHotspots(buf.Bytes(), "alloc_space", 5)
+	if err != nil {
+		t.Fatalf("TopHotspots(alloc_space): %v", err)
+	}
+	if len(spots) == 0 {
+		t.Fatalf("no alloc_space hotspots in heap profile")
+	}
+	if spots[0].Unit != "bytes" {
+		t.Errorf("alloc_space unit = %q, want bytes", spots[0].Unit)
+	}
+
+	if _, err := TopHotspots(buf.Bytes(), "no_such_sample_type", 5); err == nil {
+		t.Errorf("unknown sample type did not error")
+	}
+}
+
+func TestTopHotspotsRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          nil,
+		"truncated gzip": {0x1f, 0x8b, 0x01},
+		"varint overrun": {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, data := range cases {
+		if _, err := TopHotspots(data, "", 5); err == nil {
+			// Empty input parses to an empty profile with no sample types —
+			// that must error too (no value column to choose).
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}

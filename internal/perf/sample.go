@@ -1,0 +1,106 @@
+package perf
+
+// Process-level measurement helpers for the driver: a background peak-RSS
+// sampler and small order statistics over iteration measurements.
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/demon-mining/demon/internal/obs"
+)
+
+// rssSampler tracks the peak resident set size while an entry runs. It
+// samples on a coarse ticker plus explicitly after every iteration, so even
+// sub-tick iterations get at least one reading.
+type rssSampler struct {
+	peak atomic.Int64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startRSSSampler(interval time.Duration) *rssSampler {
+	s := &rssSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	s.Sample()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Sample takes one RSS reading now.
+func (s *rssSampler) Sample() {
+	rss := obs.ReadRSSBytes()
+	for {
+		cur := s.peak.Load()
+		if rss <= cur || s.peak.CompareAndSwap(cur, rss) {
+			return
+		}
+	}
+}
+
+// Stop ends the sampler and returns the peak observed (0 when RSS is
+// unavailable on this platform).
+func (s *rssSampler) Stop() int64 {
+	close(s.stop)
+	<-s.done
+	return s.peak.Load()
+}
+
+// median returns the middle value of xs (mean of the middle two for even
+// lengths); 0 for an empty slice. xs is not modified.
+func median(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// minOf returns the smallest value of xs; 0 for an empty slice.
+func minOf(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// percentile returns the q-quantile (0 ≤ q ≤ 1) of xs by nearest-rank; 0
+// for an empty slice. xs is not modified.
+func percentile(xs []int64, q float64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

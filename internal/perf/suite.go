@@ -1,0 +1,393 @@
+package perf
+
+// The pinned suite: every entry fixes its dataset spec, seed and sizes so
+// that two runs of the same binary do identical work, and two binaries from
+// different PRs do comparable work. Entries deliberately span the layers a
+// raw-speed PR can touch — counting strategies in isolation, whole miners
+// (where Workers matters), the proxysim monitoring workload, and the full
+// served ingest path through HTTP, queues and the durable store.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	demon "github.com/demon-mining/demon"
+	"github.com/demon-mining/demon/internal/bench"
+	"github.com/demon-mining/demon/internal/blockio"
+	"github.com/demon-mining/demon/internal/blockseq"
+	"github.com/demon-mining/demon/internal/client"
+	"github.com/demon-mining/demon/internal/itemset"
+	"github.com/demon-mining/demon/internal/pointgen"
+	"github.com/demon-mining/demon/internal/proxysim"
+	"github.com/demon-mining/demon/internal/quest"
+	"github.com/demon-mining/demon/internal/serve"
+)
+
+// Pinned suite datasets.
+const (
+	suiteQuestSpec = "1M.10L.1I.2pats.4plen" // the paper's T10-style workload
+	suitePointSpec = "1M.3c.4d"              // AGGR98-style Gaussian clusters
+	suiteMinSup    = 0.01
+)
+
+// sizes are the per-entry workload sizes, already resolved for Short mode
+// and multiplied by Config.Scale.
+type sizes struct {
+	minerBlocks, minerTx   int
+	windowBlocks, windowTx int
+	windowSize             int
+	clusterBlocks, clusterPts,
+	clusterK int
+	countEnvScale        float64
+	countSetSize         int
+	proxyReqPerHr        int
+	proxyBlockCap        int
+	serveBlocks, serveTx int
+}
+
+func (c Config) sizes() sizes {
+	s := sizes{
+		minerBlocks: 6, minerTx: 2000,
+		windowBlocks: 8, windowTx: 1200, windowSize: 4,
+		clusterBlocks: 6, clusterPts: 1500, clusterK: 3,
+		countEnvScale: 0.01, countSetSize: 512,
+		proxyReqPerHr: 400, proxyBlockCap: 0,
+		serveBlocks: 24, serveTx: 150,
+	}
+	if c.Short {
+		s = sizes{
+			minerBlocks: 4, minerTx: 600,
+			windowBlocks: 6, windowTx: 400, windowSize: 4,
+			clusterBlocks: 4, clusterPts: 500, clusterK: 3,
+			countEnvScale: 0.005, countSetSize: 128,
+			proxyReqPerHr: 120, proxyBlockCap: 10,
+			serveBlocks: 10, serveTx: 100,
+		}
+	}
+	// Block-size floors keep the fractional MinSupport thresholds
+	// meaningful: scaling a block below them would make near-singleton
+	// itemsets frequent and explode the lattice.
+	scaleInt := func(n, floor int) int {
+		v := int(float64(n) * c.Scale)
+		if v < floor {
+			v = floor
+		}
+		return v
+	}
+	s.minerTx = scaleInt(s.minerTx, 200)
+	s.windowTx = scaleInt(s.windowTx, 200)
+	s.clusterPts = scaleInt(s.clusterPts, 100)
+	s.serveTx = scaleInt(s.serveTx, 60)
+	s.countEnvScale *= c.Scale
+	return s
+}
+
+// Suite returns the pinned entries for cfg. Worker-sweep entries run at
+// {1, GOMAXPROCS} (deduplicated on single-CPU machines).
+func Suite(cfg Config) []Entry {
+	workerSet := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerSet = append(workerSet, n)
+	}
+	var es []Entry
+	for _, w := range workerSet {
+		w := w
+		es = append(es,
+			Entry{Name: "miner/ecut", Workers: w, Setup: minerSetup(demon.ECUT, w)},
+			Entry{Name: "miner/ecutplus", Workers: w, Setup: minerSetup(demon.ECUTPlus, w)},
+			Entry{Name: "miner/window", Workers: w, Setup: windowSetup(w)},
+			Entry{Name: "miner/cluster", Workers: w, Setup: clusterSetup(w)},
+		)
+	}
+	es = append(es,
+		Entry{Name: "count/ecut", Setup: countSetup("ECUT")},
+		Entry{Name: "count/ecutplus", Setup: countSetup("ECUT+")},
+		Entry{Name: "proxysim/window", Setup: proxysimSetup()},
+		Entry{Name: "serve/ingest", Setup: serveSetup()},
+	)
+	return es
+}
+
+// questRows pre-generates a block stream of transaction rows.
+func questRows(seed int64, nBlocks, perBlock int) ([][][]itemset.Item, error) {
+	qc, err := quest.ParseSpec(suiteQuestSpec)
+	if err != nil {
+		return nil, err
+	}
+	qc.Seed = seed
+	gen, err := quest.New(qc)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([][][]itemset.Item, nBlocks)
+	for i := range blocks {
+		blk := gen.Block(blockseq.ID(i+1), perBlock)
+		rows := make([][]itemset.Item, len(blk.Txs))
+		for j, tx := range blk.Txs {
+			rows[j] = tx.Items
+		}
+		blocks[i] = rows
+	}
+	return blocks, nil
+}
+
+// minerSetup ingests the Quest stream into a fresh ItemsetMiner per op.
+func minerSetup(strategy demon.CountingStrategy, workers int) func(Config) (*Prepared, error) {
+	return func(cfg Config) (*Prepared, error) {
+		sz := cfg.sizes()
+		blocks, err := questRows(cfg.Seed, sz.minerBlocks, sz.minerTx)
+		if err != nil {
+			return nil, err
+		}
+		run := func() error {
+			m, err := demon.NewItemsetMiner(demon.ItemsetMinerConfig{
+				MinSupport: suiteMinSup,
+				Strategy:   strategy,
+				Store:      demon.NewMemStore(),
+				Workers:    workers,
+			})
+			if err != nil {
+				return err
+			}
+			for _, rows := range blocks {
+				if _, err := m.AddBlock(rows); err != nil {
+					return err
+				}
+			}
+			_ = m.FrequentItemsets()
+			return nil
+		}
+		return &Prepared{
+			Blocks: int64(len(blocks)),
+			Tx:     int64(len(blocks) * sz.minerTx),
+			Run:    run,
+		}, nil
+	}
+}
+
+// windowSetup slides the Quest stream through a fresh ItemsetWindowMiner.
+func windowSetup(workers int) func(Config) (*Prepared, error) {
+	return func(cfg Config) (*Prepared, error) {
+		sz := cfg.sizes()
+		blocks, err := questRows(cfg.Seed+1, sz.windowBlocks, sz.windowTx)
+		if err != nil {
+			return nil, err
+		}
+		run := func() error {
+			m, err := demon.NewItemsetWindowMiner(demon.ItemsetWindowMinerConfig{
+				MinSupport: suiteMinSup,
+				Strategy:   demon.ECUT,
+				Store:      demon.NewMemStore(),
+				WindowSize: sz.windowSize,
+				Workers:    workers,
+			})
+			if err != nil {
+				return err
+			}
+			for _, rows := range blocks {
+				if _, err := m.AddBlock(rows); err != nil {
+					return err
+				}
+			}
+			_ = m.FrequentItemsets()
+			return nil
+		}
+		return &Prepared{
+			Blocks: int64(len(blocks)),
+			Tx:     int64(len(blocks) * sz.windowTx),
+			Run:    run,
+		}, nil
+	}
+}
+
+// clusterSetup ingests AGGR98-style points into a fresh ClusterMiner and
+// runs the phase-2 refinement (where Workers applies) once per op.
+func clusterSetup(workers int) func(Config) (*Prepared, error) {
+	return func(cfg Config) (*Prepared, error) {
+		sz := cfg.sizes()
+		pc, err := pointgen.ParseSpec(suitePointSpec)
+		if err != nil {
+			return nil, err
+		}
+		pc.Seed = cfg.Seed
+		gen, err := pointgen.New(pc)
+		if err != nil {
+			return nil, err
+		}
+		blocks := make([][]demon.Point, sz.clusterBlocks)
+		for i := range blocks {
+			blocks[i] = gen.Block(blockseq.ID(i+1), sz.clusterPts).Points
+		}
+		run := func() error {
+			m, err := demon.NewClusterMiner(demon.ClusterMinerConfig{
+				K:       sz.clusterK,
+				Store:   demon.NewMemStore(),
+				Workers: workers,
+			})
+			if err != nil {
+				return err
+			}
+			for _, pts := range blocks {
+				if _, err := m.AddBlock(pts); err != nil {
+					return err
+				}
+			}
+			_, err = m.Clusters()
+			return err
+		}
+		return &Prepared{
+			Blocks: int64(len(blocks)),
+			Tx:     int64(len(blocks) * sz.clusterPts),
+			Run:    run,
+		}, nil
+	}
+}
+
+// countSetup reuses the bench counting environment (Experiment 1): one
+// materialized Quest block, a shuffled negative-border candidate set, and
+// the named counting strategy running read-only — so the op isolates pure
+// counting cost from maintenance.
+func countSetup(counterName string) func(Config) (*Prepared, error) {
+	return func(cfg Config) (*Prepared, error) {
+		sz := cfg.sizes()
+		env, err := bench.NewCountEnv(suiteQuestSpec, sz.countEnvScale, suiteMinSup, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ctr, err := env.CounterByName(counterName)
+		if err != nil {
+			return nil, err
+		}
+		sets := env.CandidateSet(sz.countSetSize)
+		if len(sets) == 0 {
+			return nil, fmt.Errorf("empty candidate set for %s", counterName)
+		}
+		run := func() error {
+			_, err := ctr.Count(sets, env.BlockIDs)
+			return err
+		}
+		return &Prepared{
+			Blocks: int64(len(env.BlockIDs)),
+			Tx:     int64(env.NumTx),
+			Run:    run,
+		}, nil
+	}
+}
+
+// proxysimSetup runs the webproxy monitoring workload: the pinned proxysim
+// trace segmented at daily granularity, maintained by the window miner.
+func proxysimSetup() func(Config) (*Prepared, error) {
+	return func(cfg Config) (*Prepared, error) {
+		sz := cfg.sizes()
+		tr := proxysim.Generate(proxysim.Config{RequestsPerHour: sz.proxyReqPerHr, Seed: cfg.Seed})
+		blocks, _, err := tr.Segment(24)
+		if err != nil {
+			return nil, err
+		}
+		if sz.proxyBlockCap > 0 && len(blocks) > sz.proxyBlockCap {
+			blocks = blocks[:sz.proxyBlockCap]
+		}
+		var tx int64
+		rows := make([][][]itemset.Item, len(blocks))
+		for i, blk := range blocks {
+			rows[i] = make([][]itemset.Item, len(blk.Txs))
+			for j, t := range blk.Txs {
+				rows[i][j] = t.Items
+			}
+			tx += int64(len(blk.Txs))
+		}
+		run := func() error {
+			m, err := demon.NewItemsetWindowMiner(demon.ItemsetWindowMinerConfig{
+				MinSupport: 0.02,
+				Strategy:   demon.ECUT,
+				Store:      demon.NewMemStore(),
+				WindowSize: 7,
+				Workers:    1,
+			})
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if _, err := m.AddBlock(r); err != nil {
+					return err
+				}
+			}
+			_ = m.FrequentItemsets()
+			return nil
+		}
+		return &Prepared{Blocks: int64(len(rows)), Tx: tx, Run: run}, nil
+	}
+}
+
+// serveSetup measures the full served ingest path end to end: a fresh
+// demon-serve instance over a durable on-disk store, fed over real HTTP by
+// the resilient internal/client feeder, flushed, checkpointed and drained —
+// one op is a complete server lifetime. It crosses the network stack and
+// the filesystem, so it carries a widened comparator threshold and gates on
+// time only.
+func serveSetup() func(Config) (*Prepared, error) {
+	return func(cfg Config) (*Prepared, error) {
+		sz := cfg.sizes()
+		rows, err := questRows(cfg.Seed+2, sz.serveBlocks, sz.serveTx)
+		if err != nil {
+			return nil, err
+		}
+		blocks := make([]blockio.Block, len(rows))
+		for i, r := range rows {
+			blocks[i] = blockio.TxBlock(r)
+		}
+		run := func() error {
+			dir, err := os.MkdirTemp("", "demon-perf-serve-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			s, err := serve.New(serve.Config{Root: dir})
+			if err != nil {
+				return err
+			}
+			if _, err := s.Create(serve.Spec{
+				Name:       "perf",
+				Kind:       serve.KindItemset,
+				MinSupport: 0.05,
+				Strategy:   "ecut",
+				Workers:    2,
+				QueueDepth: 16,
+			}); err != nil {
+				return err
+			}
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			f, err := client.New(client.Config{
+				BaseURL:        ts.URL,
+				Namespace:      "perf",
+				BatchSize:      8,
+				RequestTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				return err
+			}
+			for _, b := range blocks {
+				if err := f.Send(ctx, b); err != nil {
+					return err
+				}
+			}
+			if err := f.Checkpoint(ctx); err != nil {
+				return err
+			}
+			return s.Drain(ctx)
+		}
+		return &Prepared{
+			Blocks:         int64(len(blocks)),
+			Tx:             int64(len(blocks) * sz.serveTx),
+			Run:            run,
+			ThresholdScale: 2.0,
+		}, nil
+	}
+}

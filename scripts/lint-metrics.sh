@@ -5,6 +5,8 @@
 #
 #   - names are lowercase dotted paths: subsystem.operation[.unit]
 #     ([a-z0-9_] segments joined by '.');
+#   - names are rooted in a known subsystem (see KNOWN_SUBSYSTEMS below) so
+#     a typo'd prefix cannot silently fork a metric family;
 #   - Timer names end in ".ns" (the writer maps them to *_seconds);
 #   - an optional label suffix "|k=v[,k2=v2]" with the same alphabet in
 #     keys and values.
@@ -15,6 +17,10 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# The subsystems with a registered owner. Adding a metric under a new
+# subsystem means adding it here (and to the dashboards that consume it).
+KNOWN_SUBSYSTEMS="birch borders diskio focus gemm miner monitor pattern perf runtime serve"
 
 fail=0
 
@@ -41,6 +47,15 @@ while IFS=$'\t' read -r kind name loc; do
     if ! printf '%s' "$base" | grep -q '\.'; then
         echo "lint-metrics: $loc: $kind name \"$name\" lacks a subsystem prefix (want subsystem.operation)"
         fail=1
+    else
+        subsystem=${base%%.*}
+        case " $KNOWN_SUBSYSTEMS " in
+        *" $subsystem "*) ;;
+        *)
+            echo "lint-metrics: $loc: $kind name \"$name\" uses unknown subsystem \"$subsystem\" (add it to KNOWN_SUBSYSTEMS if intended)"
+            fail=1
+            ;;
+        esac
     fi
     if [ "$kind" = Timer ] && [ "${base%.ns}" = "$base" ]; then
         echo "lint-metrics: $loc: Timer name \"$name\" must end in .ns"
