@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build bin test race race-differential cover bench perf perf-gate check faultsweep chaos serve-smoke lint-metrics experiments examples fmt vet clean
+.PHONY: all build bin test race race-differential cover bench perf perf-gate check backends faultsweep chaos serve-smoke lint-metrics experiments examples fmt vet clean
 
 all: build test
 
@@ -39,6 +39,16 @@ check: lint-metrics
 # Prometheus exposition relies on (see scripts/lint-metrics.sh).
 lint-metrics:
 	./scripts/lint-metrics.sh
+
+# The storage-backend gate: the Store conformance suite against every
+# backend and decorator stack (see internal/diskio/conformance), the kvfile
+# engine's own tests plus a fuzz smoke of its crash-recovery oracle, the
+# cache differential/coherence suite, and the backend-parameterized fault
+# sweep — all under the race detector.
+backends:
+	$(GO) test -race -count=1 ./internal/diskio/...
+	$(GO) test -run '^$$' -fuzz FuzzKVFileReopen -fuzztime 30s ./internal/diskio/kvfile/
+	$(GO) test -race -short -count=1 -run 'TestFaultSweepBackends|TestScalingBackends' . ./internal/bench/
 
 # Exhaustive crash-at-every-operation sweep with torn-write injection (see
 # faultsweep_test.go): every run is killed at one store-operation index,

@@ -37,6 +37,7 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "dataset scale factor (1.0 = paper sizes)")
 	seed := flag.Int64("seed", 1, "random seed for data generation")
 	workers := flag.Int("workers", 0, "override the 'scaling' experiment's swept worker counts with {1, N} (0 = default sweep 1,2,4,8)")
+	backends := flag.String("backends", "", "comma-separated storage backends for the 'scaling' experiment (mem, file, kvfile, kvfile+cache; empty = mem only)")
 	jsonOut := flag.String("json", "", "write a JSON artifact of all experiment rows and per-experiment metrics to this file")
 	metricsOut := flag.String("metrics-out", "", "write the cumulative metrics-registry snapshot (JSON) to this file on exit")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
@@ -76,7 +77,7 @@ func main() {
 		art = bench.NewArtifactBuilder(obs.Default(), *scale, *seed)
 	}
 
-	if err := run(selected, *scale, *seed, *workers, art); err != nil {
+	if err := run(selected, *scale, *seed, *workers, *backends, art); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-bench:", err)
 		os.Exit(1)
 	}
@@ -106,7 +107,7 @@ func writeOutputs(art *bench.ArtifactBuilder, jsonOut, metricsOut string) error 
 	return nil
 }
 
-func run(selected map[string]bool, scale float64, seed int64, workers int, art *bench.ArtifactBuilder) error {
+func run(selected map[string]bool, scale float64, seed int64, workers int, backends string, art *bench.ArtifactBuilder) error {
 	out := os.Stdout
 	ran := 0
 
@@ -253,6 +254,11 @@ func run(selected map[string]bool, scale float64, seed int64, workers int, art *
 		cfg.Seed = seed
 		if workers > 0 {
 			cfg.Workers = []int{1, workers}
+		}
+		if backends != "" {
+			for _, be := range strings.Split(backends, ",") {
+				cfg.Backends = append(cfg.Backends, strings.TrimSpace(be))
+			}
 		}
 		rows, err := bench.Scaling(cfg)
 		if err != nil {

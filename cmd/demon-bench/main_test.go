@@ -11,16 +11,16 @@ import (
 )
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run(map[string]bool{"fig3": true}, 0.02, 1, 0, nil); err != nil {
+	if err := run(map[string]bool{"fig3": true}, 0.02, 1, 0, "", nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoSelection(t *testing.T) {
-	if err := run(map[string]bool{}, 0.02, 1, 0, nil); err == nil {
+	if err := run(map[string]bool{}, 0.02, 1, 0, "", nil); err == nil {
 		t.Fatal("accepted empty selection")
 	}
-	if err := run(map[string]bool{"bogus": true}, 0.02, 1, 0, nil); err == nil {
+	if err := run(map[string]bool{"bogus": true}, 0.02, 1, 0, "", nil); err == nil {
 		t.Fatal("accepted unknown experiment name")
 	}
 }
@@ -36,7 +36,7 @@ func TestArtifactAndMetrics(t *testing.T) {
 
 	art := bench.NewArtifactBuilder(obs.Default(), 0.02, 1)
 	selected := map[string]bool{"fig2": true, "fig4": true, "fig8": true, "fig10": true}
-	if err := run(selected, 0.02, 1, 0, art); err != nil {
+	if err := run(selected, 0.02, 1, 0, "", art); err != nil {
 		t.Fatal(err)
 	}
 

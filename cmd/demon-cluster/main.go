@@ -39,7 +39,8 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel maintenance worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
-	storeDir := flag.String("store", "", "keep state in a crash-safe on-disk store under this directory")
+	storeDir := flag.String("store", "", "keep state in a crash-safe on-disk store: a directory, or a store URL like kvfile:state.kv?cache=16mb")
+	storeBackend := flag.String("store-backend", "", "backend of a bare-directory -store: file (default) or kvfile")
 	resume := flag.Bool("resume", false, "restore the last checkpoint from -store and skip already-ingested block files")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint automatically every N blocks (requires -store)")
 	scrub := flag.Bool("scrub", false, "verify every record checksum in -store before mining, quarantining corrupt ones")
@@ -71,7 +72,7 @@ func main() {
 	// -resume picks up exactly where the signal landed.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	if err := run(ctx, *k, *window, *workers, *storeDir, *resume, *ckptEvery, *scrub, flag.Args()); err != nil {
+	if err := run(ctx, *k, *window, *workers, *storeDir, *storeBackend, *resume, *ckptEvery, *scrub, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "demon-cluster:", err)
 		os.Exit(1)
 	}
@@ -83,14 +84,14 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, k, window, workers int, storeDir string, resume bool, ckptEvery int, scrub bool, files []string) error {
+func run(ctx context.Context, k, window, workers int, storeDir, storeBackend string, resume bool, ckptEvery int, scrub bool, files []string) error {
 	var addBlock func(pts []demon.Point) error
 	var clusters func() ([]demon.Cluster, error)
 	var checkpoint func() error
 	var ingested func() demon.BlockID
 
 	if window > 0 {
-		if storeDir != "" || resume || ckptEvery > 0 || scrub {
+		if storeDir != "" || storeBackend != "" || resume || ckptEvery > 0 || scrub {
 			return fmt.Errorf("the window cluster miner is in-memory only; -store/-resume/-checkpoint-every/-scrub require the unrestricted window")
 		}
 		m, err := demon.NewClusterWindowMiner(demon.ClusterWindowMinerConfig{K: k, WindowSize: window, Workers: workers})
@@ -107,15 +108,20 @@ func run(ctx context.Context, k, window, workers int, storeDir string, resume bo
 		clusters = m.Clusters
 		ingested = m.T
 	} else {
-		if (resume || ckptEvery > 0 || scrub) && storeDir == "" {
-			return fmt.Errorf("-resume, -checkpoint-every and -scrub require -store")
+		if (resume || ckptEvery > 0 || scrub || storeBackend != "") && storeDir == "" {
+			return fmt.Errorf("-resume, -checkpoint-every, -scrub and -store-backend require -store")
 		}
 		cfg := demon.ClusterMinerConfig{K: k, Workers: workers, AutoCheckpointEvery: ckptEvery}
 		if storeDir != "" {
-			store, err := demon.NewDurableFileStore(storeDir)
+			url, err := demon.DirStoreURL(storeBackend, storeDir)
 			if err != nil {
 				return err
 			}
+			store, err := demon.OpenStore(url)
+			if err != nil {
+				return err
+			}
+			defer demon.CloseStore(store)
 			if scrub {
 				rep, err := demon.ScrubStore(store, "")
 				if err != nil {

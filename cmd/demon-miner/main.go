@@ -60,7 +60,8 @@ func main() {
 	minconf := flag.Float64("rules", 0, "also print association rules at this minimum confidence (0 = off)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics-registry snapshot (JSON) to this file on exit")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metricsz and /debug/pprof on this address while running (e.g. localhost:6060)")
-	storeDir := flag.String("store", "", "keep state in a crash-safe on-disk store under this directory")
+	storeDir := flag.String("store", "", "keep state in a crash-safe on-disk store: a directory, or a store URL like kvfile:state.kv?cache=16mb")
+	storeBackend := flag.String("store-backend", "", "backend of a bare-directory -store: file (default) or kvfile")
 	resume := flag.Bool("resume", false, "restore the last checkpoint from -store and skip already-ingested block files")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint automatically every N blocks (requires -store)")
 	scrub := flag.Bool("scrub", false, "verify every record checksum in -store before mining, quarantining corrupt ones")
@@ -70,7 +71,7 @@ func main() {
 
 	version.PrintAndExitIf(*showVersion, "demon-miner", os.Exit, os.Stdout)
 
-	dur := durability{dir: *storeDir, resume: *resume, every: *ckptEvery, scrub: *scrub}
+	dur := durability{dir: *storeDir, backend: *storeBackend, resume: *resume, every: *ckptEvery, scrub: *scrub}
 	if flag.NArg() == 0 && !(*scrub && *storeDir != "") {
 		fmt.Fprintln(os.Stderr, "demon-miner: no block files given")
 		os.Exit(2)
@@ -122,15 +123,17 @@ func parseStrategy(s string) (demon.CountingStrategy, error) {
 
 // durability bundles the crash-safety flags.
 type durability struct {
-	dir    string
-	resume bool
-	every  int
-	scrub  bool
+	dir     string
+	backend string
+	resume  bool
+	every   int
+	scrub   bool
 }
 
-// openStore builds the configured store: the durable on-disk stack when -store
-// was given, a plain in-memory store otherwise. With -scrub it verifies every
-// record first and prints the report.
+// openStore builds the configured store: the durable on-disk stack when
+// -store was given (a directory resolved through -store-backend, or a full
+// store URL passed through), a plain in-memory store otherwise. With -scrub
+// it verifies every record first and prints the report.
 func (d durability) openStore() (demon.Store, error) {
 	if d.resume && d.dir == "" {
 		return nil, fmt.Errorf("-resume requires -store")
@@ -142,9 +145,16 @@ func (d durability) openStore() (demon.Store, error) {
 		return nil, fmt.Errorf("-scrub requires -store")
 	}
 	if d.dir == "" {
+		if d.backend != "" {
+			return nil, fmt.Errorf("-store-backend requires -store")
+		}
 		return demon.NewMemStore(), nil
 	}
-	store, err := demon.NewDurableFileStore(d.dir)
+	url, err := demon.DirStoreURL(d.backend, d.dir)
+	if err != nil {
+		return nil, err
+	}
+	store, err := demon.OpenStore(url)
 	if err != nil {
 		return nil, err
 	}
@@ -177,6 +187,7 @@ func run(ctx context.Context, minsup float64, strategyName string, window int, b
 	if err != nil {
 		return err
 	}
+	defer demon.CloseStore(store)
 	diskio.Observe(obs.Default(), "store", store)
 	if len(files) == 0 {
 		return nil // -scrub only

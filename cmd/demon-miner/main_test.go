@@ -92,6 +92,34 @@ func TestRunDurableStoreResume(t *testing.T) {
 	}
 }
 
+func TestRunKVFileBackendResume(t *testing.T) {
+	paths := writeBlocks(t)
+	dir := t.TempDir()
+	dur := durability{dir: dir, backend: "kvfile", every: 1}
+
+	// Checkpoint two blocks into the single-file backend, then resume the
+	// third from it; the kvfile must appear where DirStoreURL places it.
+	if err := run(context.Background(), 0.2, "ecut", 0, "", 0, 1, 2, 5, 0, dur, paths[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "store.kv")); err != nil {
+		t.Fatalf("kvfile backend left no store.kv: %v", err)
+	}
+	dur.resume = true
+	if err := run(context.Background(), 0.2, "ecut", 0, "", 0, 1, 2, 5, 0, dur, paths); err != nil {
+		t.Fatal(err)
+	}
+	// Scrub works through the kvfile stack too.
+	if err := run(context.Background(), 0.2, "ecut", 0, "", 0, 1, 2, 5, 0, durability{dir: dir, backend: "kvfile", scrub: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A full store URL bypasses -store-backend entirely.
+	if err := run(context.Background(), 0.2, "ecut", 0, "", 0, 1, 2, 5, 0,
+		durability{dir: "kvfile:" + dir + "/store.kv?cache=64kb", resume: true}, paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunDurabilityFlagErrors(t *testing.T) {
 	paths := writeBlocks(t)
 	if err := run(context.Background(), 0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{resume: true}, paths); err == nil {
@@ -102,6 +130,12 @@ func TestRunDurabilityFlagErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), 0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{scrub: true}, paths); err == nil {
 		t.Error("accepted -scrub without -store")
+	}
+	if err := run(context.Background(), 0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{backend: "kvfile"}, paths); err == nil {
+		t.Error("accepted -store-backend without -store")
+	}
+	if err := run(context.Background(), 0.2, "ptscan", 0, "", 0, 1, 2, 5, 0, durability{dir: t.TempDir(), backend: "bogus"}, paths); err == nil {
+		t.Error("accepted an unknown -store-backend")
 	}
 }
 

@@ -69,6 +69,7 @@ func main() {
 	maxIngestBytes := flag.Int64("max-ingest-bytes", serve.DefaultMaxIngestBytes, "cap one ingest request body (413 beyond; negative = unlimited)")
 	maxLineBytes := flag.Int("max-line-bytes", serve.DefaultMaxLineBytes, "cap one NDJSON block line (413 beyond; negative = unlimited)")
 	reopenBackoff := flag.Duration("reopen-backoff", serve.DefaultReopenBackoff, "base delay before a sticky-failed namespace reopens from its store (negative = disabled)")
+	storeBackend := flag.String("store-backend", "", "storage backend of namespaces whose spec does not pick one: file (default) or kvfile")
 	readHeaderTimeout := flag.Duration("http-read-header-timeout", defTimeouts.ReadHeader, "http.Server ReadHeaderTimeout (Slowloris guard)")
 	readTimeout := flag.Duration("http-read-timeout", defTimeouts.Read, "http.Server ReadTimeout (whole request, streamed ingest body included)")
 	writeTimeout := flag.Duration("http-write-timeout", defTimeouts.Write, "http.Server WriteTimeout (whole response)")
@@ -86,11 +87,12 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Root:           *root,
-		QueueDepth:     *queueDepth,
-		MaxIngestBytes: *maxIngestBytes,
-		MaxLineBytes:   *maxLineBytes,
-		ReopenBackoff:  *reopenBackoff,
+		Root:                *root,
+		QueueDepth:          *queueDepth,
+		MaxIngestBytes:      *maxIngestBytes,
+		MaxLineBytes:        *maxLineBytes,
+		ReopenBackoff:       *reopenBackoff,
+		DefaultStoreBackend: *storeBackend,
 	}
 	timeouts := serve.HTTPTimeouts{
 		ReadHeader: *readHeaderTimeout,

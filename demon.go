@@ -43,10 +43,12 @@ package demon
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/cf"
 	"github.com/demon-mining/demon/internal/diskio"
+	_ "github.com/demon-mining/demon/internal/diskio/kvfile" // register the kvfile: store scheme
 	"github.com/demon-mining/demon/internal/itemset"
 	"github.com/demon-mining/demon/internal/version"
 )
@@ -137,6 +139,54 @@ func NewDurableFileStore(dir string) (Store, error) {
 	return diskio.NewChecksumStore(diskio.NewRetryStore(fs)), nil
 }
 
+// OpenStore builds a store stack from a store URL: "mem:" (in-memory),
+// "file:DIR" (one file per key) or "kvfile:PATH" (single-file KV engine),
+// optionally with "?cache=SIZE" for an LRU read cache — see the diskio
+// package for the full syntax. The durable schemes come back wrapped in the
+// same retry+checksum stack as NewDurableFileStore. Pair with CloseStore.
+func OpenStore(url string) (Store, error) { return diskio.Open(url) }
+
+// CloseStore releases a store opened with OpenStore. Backends without OS
+// resources make it a no-op, so callers can close unconditionally.
+func CloseStore(s Store) error { return diskio.CloseStore(s) }
+
+// DirStoreURL resolves the CLI convention for -store flags: a value with a
+// URL scheme is passed through verbatim (the backend argument is ignored —
+// the URL already names one), a bare path becomes the given scheme over
+// that path ("file" wants a directory, "kvfile" a file path placed inside
+// the directory).
+func DirStoreURL(backend, path string) (string, error) {
+	if hasStoreScheme(path) {
+		return path, nil
+	}
+	switch backend {
+	case "", "file":
+		return "file:" + path, nil
+	case "kvfile":
+		return "kvfile:" + path + "/store.kv", nil
+	default:
+		return "", fmt.Errorf("demon: unknown store backend %q (want file or kvfile)", backend)
+	}
+}
+
+// hasStoreScheme reports whether s starts with a URL scheme ("mem:",
+// "kvfile:", ...). A single letter before the colon is treated as a path
+// (Windows drive letters), matching the common URL-vs-path heuristic.
+func hasStoreScheme(s string) bool {
+	i := strings.IndexByte(s, ':')
+	if i < 2 {
+		return false
+	}
+	for _, r := range s[:i] {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '+', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // ErrCorrupt tags errors caused by damaged on-disk data — a failed checksum,
 // truncated framing, or malformed checkpoint metadata. Test with errors.Is.
 var ErrCorrupt = diskio.ErrCorrupt
@@ -154,15 +204,11 @@ func RecoverStore(s Store) (*RecoveryReport, error) { return diskio.Recover(s) }
 
 // ScrubStore verifies the checksum of every record under prefix (all records
 // when prefix is empty), quarantining corrupt ones. The store must carry
-// checksummed framing, e.g. one from NewDurableFileStore.
+// checksummed framing somewhere in its stack, e.g. one from
+// NewDurableFileStore or OpenStore — decorators like the read cache are
+// walked through.
 func ScrubStore(s Store, prefix string) (*ScrubReport, error) {
-	cs, ok := s.(interface {
-		Scrub(prefix string) (*diskio.ScrubReport, error)
-	})
-	if !ok {
-		return nil, fmt.Errorf("demon: store %T has no checksummed framing to scrub", s)
-	}
-	return cs.Scrub(prefix)
+	return diskio.ScrubChain(s, prefix)
 }
 
 // StoreStats is the I/O counter snapshot of a Store.

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"github.com/demon-mining/demon/internal/diskio"
+	"github.com/demon-mining/demon/internal/diskio/kvfile"
 )
 
 // sweepTxBlocks builds a deterministic transactional workload: nBlocks blocks
@@ -91,25 +92,113 @@ func diffDumps(got, want map[string]string) string {
 	return strings.Join(lines, "\n")
 }
 
-// runFaultSweep drives the crash-at-every-op sweep. fresh feeds the whole
-// workload (plus a final checkpoint) into the given store; resume reopens a
-// miner over the surviving store, re-feeds what is missing, and checkpoints.
-// Both receive an already checksum-framed store.
+// sweepBackend parameterizes the sweep over a storage backend. newBase
+// returns a fresh raw store plus a reopen func that simulates the crash
+// restart over the surviving bytes (for kvfile: Close + Open, exercising the
+// index rebuild; for MemStore the same object survives). wrap builds the
+// production stack the workload actually runs through.
+type sweepBackend struct {
+	name    string
+	newBase func(t *testing.T) (Store, func(t *testing.T) Store)
+	wrap    func(Store) Store
+}
+
+// sweepBackends is the matrix every miner sweep can run over. The mem
+// backend is the dense default; file-layout backends prove the same
+// crash-at-every-op contract over their own on-disk formats.
+func sweepBackends() []sweepBackend {
+	checksum := func(s Store) Store { return diskio.NewChecksumStore(s) }
+	return []sweepBackend{
+		{
+			name: "mem",
+			newBase: func(t *testing.T) (Store, func(t *testing.T) Store) {
+				base := diskio.NewMemStore()
+				return base, func(*testing.T) Store { return base }
+			},
+			wrap: checksum,
+		},
+		{
+			name:    "file",
+			newBase: fileSweepBase,
+			wrap:    checksum,
+		},
+		{
+			name:    "kvfile",
+			newBase: kvfileSweepBase,
+			wrap:    checksum,
+		},
+		{
+			name:    "kvfile+cache",
+			newBase: kvfileSweepBase,
+			wrap: func(s Store) Store {
+				return diskio.NewCacheStore(diskio.NewChecksumStore(s), 64<<10)
+			},
+		},
+	}
+}
+
+func fileSweepBase(t *testing.T) (Store, func(t *testing.T) Store) {
+	dir := t.TempDir()
+	open := func(t *testing.T) Store {
+		fs, err := diskio.NewFileStore(dir)
+		if err != nil {
+			t.Fatalf("NewFileStore: %v", err)
+		}
+		return fs
+	}
+	return open(t), open
+}
+
+func kvfileSweepBase(t *testing.T) (Store, func(t *testing.T) Store) {
+	path := t.TempDir() + "/store.kv"
+	open := func(t *testing.T) *kvfile.Store {
+		s, err := kvfile.Open(path, kvfile.Options{})
+		if err != nil {
+			t.Fatalf("kvfile.Open: %v", err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	s := open(t)
+	reopen := func(t *testing.T) Store {
+		if err := s.Close(); err != nil {
+			t.Fatalf("kvfile.Close before reopen: %v", err)
+		}
+		s = open(t)
+		return s
+	}
+	return s, reopen
+}
+
+// runFaultSweep drives the crash-at-every-op sweep on the in-memory backend
+// (the dense default — see runFaultSweepBackend for the disk formats). fresh
+// feeds the whole workload (plus a final checkpoint) into the given store;
+// resume reopens a miner over the surviving store, re-feeds what is missing,
+// and checkpoints. Both receive an already checksum-framed store.
 func runFaultSweep(t *testing.T, fresh, resume func(Store) error) {
+	t.Helper()
+	runFaultSweepBackend(t, sweepBackends()[0], 0, fresh, resume)
+}
+
+// runFaultSweepBackend drives the sweep over one backend. maxIndices caps
+// how many crash indices are visited (0 = dense, subject to -short); disk
+// backends pass a cap because every op costs real fsyncs.
+func runFaultSweepBackend(t *testing.T, be sweepBackend, maxIndices int, fresh, resume func(Store) error) {
 	t.Helper()
 
 	// Golden run: no faults. The dump of the base (raw, framed) bytes is the
 	// reference every recovered run must reproduce exactly.
-	goldenBase := diskio.NewMemStore()
-	if err := fresh(diskio.NewChecksumStore(goldenBase)); err != nil {
+	goldenBase, _ := be.newBase(t)
+	if err := fresh(be.wrap(goldenBase)); err != nil {
 		t.Fatalf("golden run: %v", err)
 	}
 	golden := dumpStoreBytes(t, goldenBase)
 
 	// Counting run: same workload through a disarmed FaultStore to learn the
 	// operation count — the coordinate system of the sweep.
-	countFS := diskio.NewFaultStore(diskio.NewMemStore())
-	if err := fresh(diskio.NewChecksumStore(countFS)); err != nil {
+	countBase, _ := be.newBase(t)
+	countFS := diskio.NewFaultStore(countBase)
+	if err := fresh(be.wrap(countFS)); err != nil {
 		t.Fatalf("counting run: %v", err)
 	}
 	total := int(countFS.Ops())
@@ -121,14 +210,17 @@ func runFaultSweep(t *testing.T, fresh, resume func(Store) error) {
 	if testing.Short() {
 		stride = total/40 + 1
 	}
+	if maxIndices > 0 && total/stride > maxIndices {
+		stride = total/maxIndices + 1
+	}
 	t.Logf("sweeping %d operation indices (stride %d)", total, stride)
 
 	for k := 0; k < total; k += stride {
-		base := diskio.NewMemStore()
+		base, reopen := be.newBase(t)
 		fs := diskio.NewFaultStore(base)
 		fs.TornWrite = true
 		fs.CrashAfter(k)
-		if err := fresh(diskio.NewChecksumStore(fs)); err == nil {
+		if err := fresh(be.wrap(fs)); err == nil {
 			t.Fatalf("k=%d: workload succeeded despite crash injection", k)
 		}
 		if !fs.Dead() {
@@ -136,17 +228,18 @@ func runFaultSweep(t *testing.T, fresh, resume func(Store) error) {
 		}
 
 		// Restart over the surviving bytes, fault-free.
-		clean := diskio.NewChecksumStore(base)
+		survivor := reopen(t)
+		clean := be.wrap(survivor)
 		if err := resume(clean); err != nil {
 			t.Fatalf("k=%d: recovery run: %v", k, err)
 		}
-		got := dumpStoreBytes(t, base)
+		got := dumpStoreBytes(t, survivor)
 		if d := diffDumps(got, golden); d != "" {
 			t.Fatalf("k=%d: recovered store diverges from golden run:\n%s", k, d)
 		}
 		// A torn write must never survive as live data: a full scrub after
 		// recovery finds nothing to quarantine.
-		rep, err := clean.Scrub("")
+		rep, err := diskio.ScrubChain(clean, "")
 		if err != nil {
 			t.Fatalf("k=%d: scrub: %v", k, err)
 		}
@@ -288,6 +381,56 @@ func TestFaultSweepClusterMiner(t *testing.T) {
 			}
 			return m.Checkpoint()
 		})
+}
+
+// TestFaultSweepBackends proves the crash-at-every-op contract holds per
+// storage backend: the same ECUT workload swept over the one-file-per-key
+// store, the single-file KV engine (whose restart path rebuilds the index
+// from the log), and the KV engine under a read cache. Disk backends pay
+// real fsyncs per op, so their sweeps visit a capped set of crash indices
+// (still spanning the whole op range); the dense sweep runs on mem above.
+func TestFaultSweepBackends(t *testing.T) {
+	workload := sweepTxBlocks(4, 6)
+	cfg := func(s Store) ItemsetMinerConfig {
+		return ItemsetMinerConfig{MinSupport: 0.3, Strategy: ECUT, Store: s, AutoCheckpointEvery: 2}
+	}
+	fresh := func(s Store) error {
+		m, err := NewItemsetMiner(cfg(s))
+		if err != nil {
+			return err
+		}
+		for _, rows := range workload {
+			if _, err := m.AddBlock(rows); err != nil {
+				return err
+			}
+		}
+		return m.Checkpoint()
+	}
+	resume := func(s Store) error {
+		m, err := ResumeItemsetMiner(cfg(s))
+		if err != nil {
+			return err
+		}
+		for _, rows := range workload[int(m.T()):] {
+			if _, err := m.AddBlock(rows); err != nil {
+				return err
+			}
+		}
+		return m.Checkpoint()
+	}
+	maxIndices := 40
+	if testing.Short() {
+		maxIndices = 8
+	}
+	for _, be := range sweepBackends() {
+		if be.name == "mem" {
+			continue // densely covered by TestFaultSweepItemsetMinerECUT
+		}
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			runFaultSweepBackend(t, be, maxIndices, fresh, resume)
+		})
+	}
 }
 
 // Resuming over a damaged checkpoint must fail loudly — a silent fresh start

@@ -384,3 +384,46 @@ func TestScalingShape(t *testing.T) {
 		t.Fatalf("WriteScaling output missing header: %q", out.String())
 	}
 }
+
+// TestScalingBackends sweeps the experiment over the storage backends: the
+// logical store digest must be identical whether blocks and TID-lists live
+// in memory, in one file per key, in the single-file KV engine, or behind
+// its read cache — and at every worker count within each backend. Scaling
+// itself fails on any divergence; the assertions pin the row bookkeeping.
+func TestScalingBackends(t *testing.T) {
+	cfg := DefaultScalingConfig(testScale)
+	cfg.NumBlocks = 2
+	cfg.Workers = []int{1, 4}
+	cfg.Backends = []string{"mem", "file", "kvfile", "kvfile+cache"}
+	cfg.ScratchDir = t.TempDir()
+	if testing.Short() {
+		cfg.Backends = []string{"mem", "kvfile+cache"}
+		cfg.Workers = []int{1, 2}
+	}
+	rows, err := Scaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.Backends) * len(cfg.Workers); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Backend] = true
+		if !r.Identical || r.Digest != rows[0].Digest {
+			t.Fatalf("%s/%d: digest %s diverged from %s", r.Backend, r.Workers, r.Digest, rows[0].Digest)
+		}
+		if r.Frequent != rows[0].Frequent {
+			t.Fatalf("%s/%d: |L| = %d, want %d", r.Backend, r.Workers, r.Frequent, rows[0].Frequent)
+		}
+	}
+	for _, be := range cfg.Backends {
+		if !seen[be] {
+			t.Fatalf("no row for backend %s", be)
+		}
+	}
+	if _, err := Scaling(ScalingConfig{Scale: testScale, NumBlocks: 1, Workers: []int{1},
+		Backends: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"github.com/demon-mining/demon/internal/blockseq"
 	"github.com/demon-mining/demon/internal/borders"
 	"github.com/demon-mining/demon/internal/diskio"
+	_ "github.com/demon-mining/demon/internal/diskio/kvfile" // register the kvfile: store scheme
 	"github.com/demon-mining/demon/internal/itemset"
 	"github.com/demon-mining/demon/internal/quest"
 	"github.com/demon-mining/demon/internal/tidlist"
@@ -36,6 +38,14 @@ type ScalingConfig struct {
 	// Workers are the worker counts swept; the first entry is the baseline
 	// speedups are relative to (default 1, 2, 4, 8).
 	Workers []int
+	// Backends are the storage backends swept (mem, file, kvfile,
+	// kvfile+cache; default mem only). Every (backend, workers) cell must
+	// produce the same logical store digest — the backends may lay bytes out
+	// differently on disk, but what they serve back must be identical.
+	Backends []string
+	// ScratchDir hosts the disk backends' stores (default: fresh temp dirs,
+	// removed after each run).
+	ScratchDir string
 	// Seed fixes data generation.
 	Seed int64
 }
@@ -54,8 +64,10 @@ func DefaultScalingConfig(scale float64) ScalingConfig {
 	}
 }
 
-// ScalingRow is one worker count's measurement.
+// ScalingRow is one (backend, worker count) cell's measurement.
 type ScalingRow struct {
+	// Backend is the storage backend the cell ran on.
+	Backend string
 	Workers int
 	// Maintain is the wall-clock time of all AddBlock maintenance steps
 	// (detection + update counting).
@@ -92,10 +104,28 @@ func storeDigest(store diskio.Store) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// Scaling runs the ingestion pipeline once per worker count over identical
-// data and returns one row per count. It fails when any run's final store
-// bytes diverge from the baseline's — determinism is part of the experiment's
-// contract, not just a reported column.
+// backendStoreURL maps a scaling backend name to a store URL over dir. The
+// names mirror the faultsweep matrix.
+func backendStoreURL(name, dir string) (string, error) {
+	switch name {
+	case "", "mem":
+		return "mem:", nil
+	case "file":
+		return "file:" + dir + "/store", nil
+	case "kvfile":
+		return "kvfile:" + dir + "/store.kv", nil
+	case "kvfile+cache":
+		return "kvfile:" + dir + "/store.kv?cache=256kb", nil
+	default:
+		return "", fmt.Errorf("bench: unknown scaling backend %q (want mem, file, kvfile or kvfile+cache)", name)
+	}
+}
+
+// Scaling runs the ingestion pipeline once per (backend, worker count) cell
+// over identical data and returns one row per cell. It fails when any run's
+// final store digest diverges from the first cell's — determinism across
+// worker counts AND byte-serving equivalence across storage backends are
+// part of the experiment's contract, not just a reported column.
 func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 0.1
@@ -116,6 +146,9 @@ func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 	if len(cfg.Workers) == 0 {
 		cfg.Workers = d.Workers
 	}
+	if len(cfg.Backends) == 0 {
+		cfg.Backends = []string{"mem"}
+	}
 	qc, err := quest.ParseSpec(cfg.Spec)
 	if err != nil {
 		return nil, err
@@ -123,23 +156,25 @@ func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 	qc.Seed = cfg.Seed
 	blockSize := scaledSize(cfg.BlockSize, cfg.Scale)
 
-	rows := make([]ScalingRow, 0, len(cfg.Workers))
-	for _, w := range cfg.Workers {
-		row, err := scalingRun(qc, cfg, blockSize, w)
-		if err != nil {
-			return nil, fmt.Errorf("bench: scaling at %d workers: %w", w, err)
+	rows := make([]ScalingRow, 0, len(cfg.Workers)*len(cfg.Backends))
+	for _, be := range cfg.Backends {
+		for _, w := range cfg.Workers {
+			row, err := scalingRun(qc, cfg, blockSize, be, w)
+			if err != nil {
+				return nil, fmt.Errorf("bench: scaling on %s at %d workers: %w", be, w, err)
+			}
+			base := row
+			if len(rows) > 0 {
+				base = rows[0]
+			}
+			row.Speedup = float64(base.Maintain) / float64(max64(int64(row.Maintain), 1))
+			row.Identical = row.Digest == base.Digest
+			if !row.Identical {
+				return nil, fmt.Errorf("bench: scaling on %s at %d workers diverged from the %s/%d-worker baseline: store digest %s != %s",
+					be, w, base.Backend, base.Workers, row.Digest, base.Digest)
+			}
+			rows = append(rows, row)
 		}
-		base := row
-		if len(rows) > 0 {
-			base = rows[0]
-		}
-		row.Speedup = float64(base.Maintain) / float64(max64(int64(row.Maintain), 1))
-		row.Identical = row.Digest == base.Digest
-		if !row.Identical {
-			return nil, fmt.Errorf("bench: scaling at %d workers diverged from the %d-worker baseline: store digest %s != %s",
-				w, base.Workers, row.Digest, base.Digest)
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -147,13 +182,26 @@ func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 // scalingRun ingests the whole stream at one worker count: each block is
 // stored, its TID-lists (items and the model's frequent 2-itemset pairs)
 // materialized, and the BORDERS model maintained with PT-Scan counting.
-func scalingRun(qc quest.Config, cfg ScalingConfig, blockSize, workers int) (ScalingRow, error) {
-	row := ScalingRow{Workers: workers}
+func scalingRun(qc quest.Config, cfg ScalingConfig, blockSize int, backend string, workers int) (ScalingRow, error) {
+	row := ScalingRow{Backend: backend, Workers: workers}
 	gen, err := quest.New(qc)
 	if err != nil {
 		return row, err
 	}
-	store := diskio.NewMemStore()
+	scratch, err := os.MkdirTemp(cfg.ScratchDir, "demon-scaling-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(scratch)
+	url, err := backendStoreURL(backend, scratch)
+	if err != nil {
+		return row, err
+	}
+	store, err := diskio.Open(url)
+	if err != nil {
+		return row, err
+	}
+	defer diskio.CloseStore(store)
 	blocks := itemset.NewBlockStore(store)
 	tids := tidlist.NewStore(store)
 	tids.SetWorkers(workers)
@@ -213,11 +261,15 @@ func max64(a, b int64) int64 {
 
 // WriteScaling renders the rows.
 func WriteScaling(w io.Writer, rows []ScalingRow) {
-	fmt.Fprintln(w, "Scaling: parallel ingestion vs worker count (identical store bytes required)")
-	fmt.Fprintf(w, "%8s %12s %12s %9s %10s %10s\n",
-		"workers", "maintain", "ingest", "speedup", "|L|", "identical")
+	fmt.Fprintln(w, "Scaling: parallel ingestion vs worker count and backend (identical store digest required)")
+	fmt.Fprintf(w, "%14s %8s %12s %12s %9s %10s %10s\n",
+		"backend", "workers", "maintain", "ingest", "speedup", "|L|", "identical")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%8d %12.4f %12.4f %9.2f %10d %10v\n",
-			r.Workers, r.Maintain.Seconds(), r.Ingest.Seconds(), r.Speedup, r.Frequent, r.Identical)
+		be := r.Backend
+		if be == "" {
+			be = "mem"
+		}
+		fmt.Fprintf(w, "%14s %8d %12.4f %12.4f %9.2f %10d %10v\n",
+			be, r.Workers, r.Maintain.Seconds(), r.Ingest.Seconds(), r.Speedup, r.Frequent, r.Identical)
 	}
 }

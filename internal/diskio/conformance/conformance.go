@@ -1,0 +1,382 @@
+// Package conformance is the shared oracle for diskio.Store backends: one
+// table of behavioral tests every implementation — in-memory, one file per
+// key, checksummed, transactional, single-file KV, cached — must pass. New
+// backends wire a factory into RunStoreTests and inherit the whole contract;
+// the faultsweep and digest harnesses then only need to check what is
+// backend-specific (crash recovery, byte layout), not basic semantics.
+package conformance
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/demon-mining/demon/internal/diskio"
+)
+
+// Factory builds a fresh, empty store for one subtest. Cleanup (closing,
+// removing temp dirs) belongs on t.Cleanup inside the factory.
+type Factory func(t *testing.T) diskio.Store
+
+// RunStoreTests runs the full conformance table against stores built by
+// factory. Each subtest gets its own fresh store.
+func RunStoreTests(t *testing.T, factory Factory) {
+	t.Helper()
+	for _, tc := range []struct {
+		name string
+		run  func(t *testing.T, s diskio.Store)
+	}{
+		{"PutGetRoundtrip", testPutGetRoundtrip},
+		{"EmptyValue", testEmptyValue},
+		{"BinaryValue", testBinaryValue},
+		{"Overwrite", testOverwrite},
+		{"EmptyKeyRejected", testEmptyKeyRejected},
+		{"GetMissing", testGetMissing},
+		{"SizeMissing", testSizeMissing},
+		{"Size", testSize},
+		{"DeleteRemoves", testDeleteRemoves},
+		{"DeleteAbsent", testDeleteAbsent},
+		{"DeleteThenPut", testDeleteThenPut},
+		{"KeysSortedByPrefix", testKeysSortedByPrefix},
+		{"KeysEmptyStore", testKeysEmptyStore},
+		{"LargeValue", testLargeValue},
+		{"ValueAliasing", testValueAliasing},
+		{"ManyKeys", testManyKeys},
+		{"ConcurrentReaders", testConcurrentReaders},
+		{"ConcurrentReadWrite", testConcurrentReadWrite},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run(t, factory(t))
+		})
+	}
+}
+
+func mustPut(t *testing.T, s diskio.Store, key string, val []byte) {
+	t.Helper()
+	if err := s.Put(key, val); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
+func mustGet(t *testing.T, s diskio.Store, key string) []byte {
+	t.Helper()
+	data, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	return data
+}
+
+func testPutGetRoundtrip(t *testing.T, s diskio.Store) {
+	mustPut(t, s, "blocks/0001", []byte("hello"))
+	if got := mustGet(t, s, "blocks/0001"); string(got) != "hello" {
+		t.Fatalf("Get = %q, want %q", got, "hello")
+	}
+}
+
+func testEmptyValue(t *testing.T, s diskio.Store) {
+	mustPut(t, s, "empty", nil)
+	got := mustGet(t, s, "empty")
+	if len(got) != 0 {
+		t.Fatalf("Get = %q, want empty", got)
+	}
+	n, err := s.Size("empty")
+	if err != nil {
+		t.Fatalf("Size: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("Size = %d, want 0", n)
+	}
+}
+
+func testBinaryValue(t *testing.T, s diskio.Store) {
+	val := make([]byte, 300)
+	for i := range val {
+		val[i] = byte(i) // covers all byte values incl. 0x00 and 0xff
+	}
+	mustPut(t, s, "bin", val)
+	if got := mustGet(t, s, "bin"); !bytes.Equal(got, val) {
+		t.Fatalf("binary value mangled: got %d bytes %x..., want %d bytes", len(got), got[:8], len(val))
+	}
+}
+
+func testOverwrite(t *testing.T, s diskio.Store) {
+	mustPut(t, s, "k", []byte("first version, longer"))
+	mustPut(t, s, "k", []byte("second"))
+	if got := mustGet(t, s, "k"); string(got) != "second" {
+		t.Fatalf("Get after overwrite = %q, want %q", got, "second")
+	}
+	n, err := s.Size("k")
+	if err != nil {
+		t.Fatalf("Size: %v", err)
+	}
+	if n != int64(len("second")) {
+		t.Fatalf("Size after overwrite = %d, want %d", n, len("second"))
+	}
+	keys, err := s.Keys("")
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	if len(keys) != 1 || keys[0] != "k" {
+		t.Fatalf("Keys after overwrite = %v, want [k]", keys)
+	}
+}
+
+func testEmptyKeyRejected(t *testing.T, s diskio.Store) {
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Fatal("Put(\"\") succeeded, want error")
+	}
+}
+
+func testGetMissing(t *testing.T, s diskio.Store) {
+	if _, err := s.Get("absent"); !errors.Is(err, diskio.ErrNotFound) {
+		t.Fatalf("Get(absent) err = %v, want ErrNotFound", err)
+	}
+}
+
+func testSizeMissing(t *testing.T, s diskio.Store) {
+	if _, err := s.Size("absent"); !errors.Is(err, diskio.ErrNotFound) {
+		t.Fatalf("Size(absent) err = %v, want ErrNotFound", err)
+	}
+}
+
+func testSize(t *testing.T, s diskio.Store) {
+	val := bytes.Repeat([]byte("s"), 1234)
+	mustPut(t, s, "sized", val)
+	n, err := s.Size("sized")
+	if err != nil {
+		t.Fatalf("Size: %v", err)
+	}
+	if n != int64(len(val)) {
+		t.Fatalf("Size = %d, want %d", n, len(val))
+	}
+}
+
+func testDeleteRemoves(t *testing.T, s diskio.Store) {
+	mustPut(t, s, "gone", []byte("x"))
+	if err := s.Delete("gone"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("gone"); !errors.Is(err, diskio.ErrNotFound) {
+		t.Fatalf("Get after Delete err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Size("gone"); !errors.Is(err, diskio.ErrNotFound) {
+		t.Fatalf("Size after Delete err = %v, want ErrNotFound", err)
+	}
+	keys, err := s.Keys("")
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("Keys after Delete = %v, want none", keys)
+	}
+}
+
+func testDeleteAbsent(t *testing.T, s diskio.Store) {
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatalf("Delete of absent key: %v, want nil", err)
+	}
+}
+
+func testDeleteThenPut(t *testing.T, s diskio.Store) {
+	mustPut(t, s, "phoenix", []byte("v1"))
+	if err := s.Delete("phoenix"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	mustPut(t, s, "phoenix", []byte("v2"))
+	if got := mustGet(t, s, "phoenix"); string(got) != "v2" {
+		t.Fatalf("Get after delete+put = %q, want v2", got)
+	}
+}
+
+func testKeysSortedByPrefix(t *testing.T, s diskio.Store) {
+	// Inserted out of order on purpose; Keys must come back sorted.
+	for _, k := range []string{"tid/b", "blocks/2", "tid/a", "blocks/10", "blocks/1", "meta"} {
+		mustPut(t, s, k, []byte(k))
+	}
+	all, err := s.Keys("")
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	wantAll := []string{"blocks/1", "blocks/10", "blocks/2", "meta", "tid/a", "tid/b"}
+	if fmt.Sprint(all) != fmt.Sprint(wantAll) {
+		t.Fatalf("Keys(\"\") = %v, want %v", all, wantAll)
+	}
+	if !sort.StringsAreSorted(all) {
+		t.Fatalf("Keys(\"\") not sorted: %v", all)
+	}
+	blocks, err := s.Keys("blocks/")
+	if err != nil {
+		t.Fatalf("Keys(blocks/): %v", err)
+	}
+	wantBlocks := []string{"blocks/1", "blocks/10", "blocks/2"}
+	if fmt.Sprint(blocks) != fmt.Sprint(wantBlocks) {
+		t.Fatalf("Keys(blocks/) = %v, want %v", blocks, wantBlocks)
+	}
+	none, err := s.Keys("nope/")
+	if err != nil {
+		t.Fatalf("Keys(nope/): %v", err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("Keys(nope/) = %v, want none", none)
+	}
+}
+
+func testKeysEmptyStore(t *testing.T, s diskio.Store) {
+	keys, err := s.Keys("")
+	if err != nil {
+		t.Fatalf("Keys on empty store: %v", err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("Keys on empty store = %v, want none", keys)
+	}
+}
+
+func testLargeValue(t *testing.T, s diskio.Store) {
+	val := make([]byte, 1<<20) // 1 MiB
+	for i := range val {
+		val[i] = byte(i * 31)
+	}
+	mustPut(t, s, "large", val)
+	got := mustGet(t, s, "large")
+	if !bytes.Equal(got, val) {
+		t.Fatalf("large value mangled (%d bytes back, want %d)", len(got), len(val))
+	}
+	n, err := s.Size("large")
+	if err != nil {
+		t.Fatalf("Size: %v", err)
+	}
+	if n != int64(len(val)) {
+		t.Fatalf("Size = %d, want %d", n, len(val))
+	}
+}
+
+func testValueAliasing(t *testing.T, s diskio.Store) {
+	val := []byte("original")
+	mustPut(t, s, "alias", val)
+	val[0] = 'X' // mutating the caller's slice must not reach the store
+	if got := mustGet(t, s, "alias"); string(got) != "original" {
+		t.Fatalf("store aliased the Put slice: Get = %q", got)
+	}
+	got := mustGet(t, s, "alias")
+	got[0] = 'Y' // mutating a returned slice must not reach the store
+	if again := mustGet(t, s, "alias"); string(again) != "original" {
+		t.Fatalf("store aliased the Get slice: Get = %q", again)
+	}
+}
+
+func testManyKeys(t *testing.T, s diskio.Store) {
+	const n = 200
+	want := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("many/%04d", i)
+		mustPut(t, s, k, []byte(k))
+		want = append(want, k)
+	}
+	keys, err := s.Keys("many/")
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	if len(keys) != n {
+		t.Fatalf("Keys returned %d keys, want %d", len(keys), n)
+	}
+	for i, k := range keys {
+		if k != want[i] {
+			t.Fatalf("Keys[%d] = %q, want %q", i, k, want[i])
+		}
+	}
+	for _, k := range []string{"many/0000", "many/0123", "many/0199"} {
+		if got := mustGet(t, s, k); string(got) != k {
+			t.Fatalf("Get(%q) = %q", k, got)
+		}
+	}
+}
+
+func testConcurrentReaders(t *testing.T, s diskio.Store) {
+	const keys = 8
+	vals := make([][]byte, keys)
+	for i := range vals {
+		vals[i] = bytes.Repeat([]byte{byte('a' + i)}, 512+i)
+		mustPut(t, s, fmt.Sprintf("cr/%d", i), vals[i])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g + i) % keys
+				got, err := s.Get(fmt.Sprintf("cr/%d", k))
+				if err != nil {
+					errs <- fmt.Errorf("Get cr/%d: %w", k, err)
+					return
+				}
+				if !bytes.Equal(got, vals[k]) {
+					errs <- fmt.Errorf("cr/%d: got %d bytes of %q, want %d of %q",
+						k, len(got), got[:1], len(vals[k]), vals[k][:1])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func testConcurrentReadWrite(t *testing.T, s diskio.Store) {
+	// One writer cycles a key through versions; readers must always see a
+	// complete version — never a torn mix, never a disappearance.
+	versions := make([][]byte, 4)
+	for v := range versions {
+		versions[v] = bytes.Repeat([]byte{byte('0' + v)}, 256*(v+1))
+	}
+	mustPut(t, s, "rw", versions[0])
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got, err := s.Get("rw")
+				if err != nil {
+					errs <- fmt.Errorf("Get rw: %w", err)
+					return
+				}
+				ok := false
+				for _, v := range versions {
+					if bytes.Equal(got, v) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					errs <- fmt.Errorf("rw: read %d bytes that match no written version", len(got))
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i < 40; i++ {
+		mustPut(t, s, "rw", versions[i%len(versions)])
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

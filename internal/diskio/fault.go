@@ -81,6 +81,11 @@ func NewFaultStore(inner Store) *FaultStore {
 	return f
 }
 
+// Unwrap returns the wrapped store.
+func (f *FaultStore) Unwrap() Store {
+	return f.Inner
+}
+
 // FailAfter arms the countdown: the n+1-th subsequent operation fails (n=0
 // fails the next one). Each firing disarms the countdown.
 func (f *FaultStore) FailAfter(n int) {

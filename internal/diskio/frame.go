@@ -72,6 +72,9 @@ type ChecksumStore struct {
 	Inner Store
 }
 
+// Unwrap returns the wrapped store.
+func (s *ChecksumStore) Unwrap() Store { return s.Inner }
+
 // NewChecksumStore wraps inner with record framing.
 func NewChecksumStore(inner Store) *ChecksumStore {
 	return &ChecksumStore{Inner: inner}

@@ -84,6 +84,9 @@ func NewRetryStore(inner Store) *RetryStore {
 	return &RetryStore{Inner: inner}
 }
 
+// Unwrap returns the wrapped store.
+func (s *RetryStore) Unwrap() Store { return s.Inner }
+
 func (s *RetryStore) attempts() int {
 	if s.MaxAttempts > 0 {
 		return s.MaxAttempts

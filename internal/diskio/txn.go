@@ -63,6 +63,9 @@ func NewTxnStore(inner Store) *TxnStore {
 	return &TxnStore{inner: inner}
 }
 
+// Unwrap returns the wrapped store.
+func (s *TxnStore) Unwrap() Store { return s.inner }
+
 // Inner returns the wrapped store.
 func (s *TxnStore) Inner() Store { return s.inner }
 
@@ -209,6 +212,10 @@ func (s *TxnStore) Put(key string, data []byte) error {
 	if s.depth == 0 {
 		s.mu.Unlock()
 		return s.inner.Put(key, data)
+	}
+	if key == "" {
+		s.mu.Unlock()
+		return fmt.Errorf("diskio: empty key")
 	}
 	if strings.HasPrefix(key, StagingPrefix) {
 		s.mu.Unlock()
@@ -444,7 +451,7 @@ func Recover(s Store) (*RecoveryReport, error) {
 	sort.Strings(ids)
 
 	quarantineOrDelete := func(key string) error {
-		if q, ok := s.(Quarantiner); ok {
+		if q, ok := findQuarantiner(s); ok {
 			if err := q.Quarantine(key); err == nil {
 				rep.Quarantined = append(rep.Quarantined, key)
 				return nil

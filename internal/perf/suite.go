@@ -47,6 +47,8 @@ type sizes struct {
 	proxyReqPerHr        int
 	proxyBlockCap        int
 	serveBlocks, serveTx int
+	storeKeys, storeValBytes,
+	storeReadRounds int
 }
 
 func (c Config) sizes() sizes {
@@ -57,6 +59,7 @@ func (c Config) sizes() sizes {
 		countEnvScale: 0.01, countSetSize: 512,
 		proxyReqPerHr: 400, proxyBlockCap: 0,
 		serveBlocks: 24, serveTx: 150,
+		storeKeys: 400, storeValBytes: 2048, storeReadRounds: 6,
 	}
 	if c.Short {
 		s = sizes{
@@ -66,6 +69,7 @@ func (c Config) sizes() sizes {
 			countEnvScale: 0.005, countSetSize: 128,
 			proxyReqPerHr: 120, proxyBlockCap: 10,
 			serveBlocks: 10, serveTx: 100,
+			storeKeys: 120, storeValBytes: 1024, storeReadRounds: 4,
 		}
 	}
 	// Block-size floors keep the fractional MinSupport thresholds
@@ -108,6 +112,9 @@ func Suite(cfg Config) []Entry {
 		Entry{Name: "count/ecutplus", Setup: countSetup("ECUT+")},
 		Entry{Name: "proxysim/window", Setup: proxysimSetup()},
 		Entry{Name: "serve/ingest", Setup: serveSetup()},
+		Entry{Name: "store/file", Setup: storeSetup("file")},
+		Entry{Name: "store/kvfile", Setup: storeSetup("kvfile")},
+		Entry{Name: "store/kvfile-cache", Setup: storeSetup("kvfile-cache")},
 	)
 	return es
 }
@@ -320,6 +327,89 @@ func proxysimSetup() func(Config) (*Prepared, error) {
 			return nil
 		}
 		return &Prepared{Blocks: int64(len(rows)), Tx: tx, Run: run}, nil
+	}
+}
+
+// storeSetup measures one storage backend under a deterministic hot-read
+// workload: N keys written, read over several rounds (the cached variant
+// serves repeats from memory), half overwritten, re-read, a quarter deleted.
+// One op is a complete store lifetime including open and close, so kvfile's
+// index rebuild and commit protocol are inside the measurement. Filesystem
+// latency varies more than CPU time, so the entries gate on a widened
+// threshold and time only.
+func storeSetup(backend string) func(Config) (*Prepared, error) {
+	return func(cfg Config) (*Prepared, error) {
+		sz := cfg.sizes()
+		keys := make([]string, sz.storeKeys)
+		vals := make([][]byte, sz.storeKeys)
+		rnd := uint64(cfg.Seed)*2862933555777941757 + 3037000493
+		for i := range keys {
+			keys[i] = fmt.Sprintf("blocks/%06d", i)
+			v := make([]byte, sz.storeValBytes)
+			for j := range v {
+				rnd = rnd*2862933555777941757 + 3037000493
+				v[j] = byte(rnd >> 56)
+			}
+			vals[i] = v
+		}
+		urlFor := func(dir string) string {
+			switch backend {
+			case "file":
+				return "file:" + dir + "/store"
+			case "kvfile":
+				return "kvfile:" + dir + "/store.kv"
+			default: // kvfile-cache
+				return "kvfile:" + dir + "/store.kv?cache=1mb"
+			}
+		}
+		run := func() error {
+			dir, err := os.MkdirTemp("", "demon-perf-store-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			s, err := demon.OpenStore(urlFor(dir))
+			if err != nil {
+				return err
+			}
+			defer demon.CloseStore(s)
+			for i, k := range keys {
+				if err := s.Put(k, vals[i]); err != nil {
+					return err
+				}
+			}
+			for r := 0; r < sz.storeReadRounds; r++ {
+				for _, k := range keys {
+					if _, err := s.Get(k); err != nil {
+						return err
+					}
+				}
+			}
+			for i := 0; i < len(keys); i += 2 {
+				if err := s.Put(keys[i], vals[(i+1)%len(vals)]); err != nil {
+					return err
+				}
+			}
+			for r := 0; r < sz.storeReadRounds; r++ {
+				for _, k := range keys {
+					if _, err := s.Get(k); err != nil {
+						return err
+					}
+				}
+			}
+			for i := 0; i < len(keys); i += 4 {
+				if err := s.Delete(keys[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return &Prepared{
+			Blocks:         int64(sz.storeKeys),
+			Tx:             int64(sz.storeKeys * (2*sz.storeReadRounds + 2)),
+			Run:            run,
+			ThresholdScale: 2.0,
+		}, nil
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -277,10 +276,11 @@ type Namespace struct {
 }
 
 // openNamespace creates or resumes the namespace under dir: the durable
-// store stack over dir/store and the miner via the Resume* paths, which
-// recover interrupted transactions and restore the last checkpoint — a
-// server killed mid-block reopens exactly at its last durable state.
-func openNamespace(dir string, spec Spec, queueDepth int, reopenBackoff time.Duration) (*Namespace, error) {
+// store stack over dir/store (the backend the spec selects, or the server
+// default) and the miner via the Resume* paths, which recover interrupted
+// transactions and restore the last checkpoint — a server killed mid-block
+// reopens exactly at its last durable state.
+func openNamespace(dir string, spec Spec, queueDepth int, reopenBackoff time.Duration, defaultBackend string) (*Namespace, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -290,7 +290,11 @@ func openNamespace(dir string, spec Spec, queueDepth int, reopenBackoff time.Dur
 	if queueDepth <= 0 {
 		queueDepth = DefaultQueueDepth
 	}
-	store, err := demon.NewDurableFileStore(filepath.Join(dir, "store"))
+	url, err := spec.storeURL(dir, defaultBackend)
+	if err != nil {
+		return nil, err
+	}
+	store, err := demon.OpenStore(url)
 	if err != nil {
 		return nil, err
 	}
@@ -304,6 +308,7 @@ func openNamespace(dir string, spec Spec, queueDepth int, reopenBackoff time.Dur
 	}
 	m, highwater, err := openModel(store, spec, n.txnHook)
 	if err != nil {
+		demon.CloseStore(store)
 		return nil, fmt.Errorf("serve: opening namespace %s: %w", spec.Name, err)
 	}
 	n.mdl.Store(m)
@@ -750,6 +755,10 @@ func (m *monitorModel) AddBlockCtx(ctx context.Context, rows [][]itemset.Item) e
 	return nil
 }
 
-// removeDir deletes the namespace's directory tree; used by DELETE after a
-// successful drain.
-func (n *Namespace) removeDir() error { return os.RemoveAll(n.dir) }
+// removeDir releases the namespace's store (closing the kvfile backend's
+// file handle, if that is what backs it) and deletes the directory tree;
+// used by DELETE after a successful drain.
+func (n *Namespace) removeDir() error {
+	_ = demon.CloseStore(n.store)
+	return os.RemoveAll(n.dir)
+}

@@ -65,6 +65,11 @@ type Config struct {
 	// that resumes sticky-failed miners from their stores
 	// (DefaultReopenBackoff when zero, disabled when negative).
 	ReopenBackoff time.Duration
+	// DefaultStoreBackend is the storage backend of namespaces whose spec
+	// does not pick one: "file" (default when empty) or "kvfile". Existing
+	// namespaces persist their backend in the spec at creation, so changing
+	// this only affects namespaces created afterwards.
+	DefaultStoreBackend string
 	// Registry receives the server's metrics (queue depths, block counters);
 	// obs.Default() when nil.
 	Registry *obs.Registry
@@ -92,6 +97,14 @@ func (c Config) maxLineBytes() int {
 	default:
 		return c.MaxLineBytes
 	}
+}
+
+// storeBackend resolves the default storage backend ("file" when unset).
+func (c Config) storeBackend() string {
+	if c.DefaultStoreBackend == "" {
+		return "file"
+	}
+	return c.DefaultStoreBackend
 }
 
 // reopenBackoff resolves the auto-reopen base delay (0 means disabled).
@@ -127,6 +140,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.Default()
 	}
+	switch cfg.DefaultStoreBackend {
+	case "", "file", "kvfile":
+	default:
+		return nil, fmt.Errorf("serve: unknown default store backend %q (want file or kvfile)", cfg.DefaultStoreBackend)
+	}
 	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
 		return nil, err
 	}
@@ -151,7 +169,7 @@ func New(cfg Config) (*Server, error) {
 		if spec.Name != e.Name() {
 			return nil, fmt.Errorf("serve: namespace directory %s holds spec named %q", e.Name(), spec.Name)
 		}
-		n, err := openNamespace(dir, spec, cfg.QueueDepth, cfg.reopenBackoff())
+		n, err := openNamespace(dir, spec, cfg.QueueDepth, cfg.reopenBackoff(), cfg.storeBackend())
 		if err != nil {
 			return nil, err
 		}
@@ -221,6 +239,12 @@ func (s *Server) Create(spec Spec) (*Namespace, error) {
 	if _, ok := s.ns[spec.Name]; ok {
 		return nil, fmt.Errorf("serve: namespace %s already exists", spec.Name)
 	}
+	// Stamp the resolved backend into the spec before persisting it: the
+	// backend a namespace was created with must survive server restarts even
+	// if the server's default changes.
+	if spec.Store == "" {
+		spec.Store = s.cfg.storeBackend()
+	}
 	dir := filepath.Join(s.cfg.Root, spec.Name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -228,7 +252,7 @@ func (s *Server) Create(spec Spec) (*Namespace, error) {
 	if err := writeSpec(dir, spec); err != nil {
 		return nil, err
 	}
-	n, err := openNamespace(dir, spec, s.cfg.QueueDepth, s.cfg.reopenBackoff())
+	n, err := openNamespace(dir, spec, s.cfg.QueueDepth, s.cfg.reopenBackoff(), s.cfg.storeBackend())
 	if err != nil {
 		return nil, err
 	}

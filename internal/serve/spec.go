@@ -69,6 +69,14 @@ type Spec struct {
 	// QueueDepth bounds this namespace's ingest queue; 0 selects the server
 	// default.
 	QueueDepth int `json:"queue_depth,omitempty"`
+	// Store selects the namespace's storage backend: "file" (one file per
+	// key) or "kvfile" (single-file KV engine). Empty defers to the server's
+	// default backend. The choice is durable — it is persisted with the spec
+	// and honored on resume regardless of the server's later default.
+	Store string `json:"store,omitempty"`
+	// CacheBytes tops the store with an LRU read cache of this budget
+	// (0 = no cache).
+	CacheBytes int64 `json:"cache_bytes,omitempty"`
 }
 
 // nameOK reports whether a namespace name is safe as a directory name.
@@ -124,7 +132,32 @@ func (s Spec) Validate() error {
 	if s.Every < 0 || s.QueueDepth < 0 || s.CheckpointEvery < 0 {
 		return fmt.Errorf("serve: namespace %s: negative every/queue_depth/checkpoint_every", s.Name)
 	}
+	switch s.Store {
+	case "", "file", "kvfile":
+	default:
+		return fmt.Errorf("serve: namespace %s: unknown store backend %q (want file or kvfile)", s.Name, s.Store)
+	}
+	if s.CacheBytes < 0 {
+		return fmt.Errorf("serve: namespace %s: negative cache_bytes", s.Name)
+	}
 	return nil
+}
+
+// storeURL resolves the namespace's store URL under dir, applying the
+// server's default backend when the spec leaves the choice open.
+func (s Spec) storeURL(dir, defaultBackend string) (string, error) {
+	backend := s.Store
+	if backend == "" {
+		backend = defaultBackend
+	}
+	url, err := demon.DirStoreURL(backend, filepath.Join(dir, "store"))
+	if err != nil {
+		return "", fmt.Errorf("serve: namespace %s: %w", s.Name, err)
+	}
+	if s.CacheBytes > 0 {
+		url += fmt.Sprintf("?cache=%d", s.CacheBytes)
+	}
+	return url, nil
 }
 
 func parseStrategy(s string) (demon.CountingStrategy, error) {
