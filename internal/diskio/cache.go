@@ -80,10 +80,17 @@ func (s *CacheStore) lookup(key string) ([]byte, bool, uint64) {
 
 // store caches a copy of data under key, evicting least-recently-used
 // entries past the byte budget. Values larger than the whole budget are not
-// cached. A fillGen >= 0 marks a read-miss fill, abandoned when a mutation
-// intervened since the miss; mutations pass fillGen = -1 and bump the
-// generation themselves.
-func (s *CacheStore) store(key string, data []byte, fillGen int64) {
+// cached. gen is the mutation generation observed before the operation that
+// produced data: a read-miss fill (mutation = false) is abandoned when the
+// generation moved between the miss and the fill, while a write-through
+// refresh (mutation = true) whose generation moved instead drops the key —
+// the racing mutations may have reached the inner store in either order, so
+// no cached copy is trustworthy — and in both cases a mutation bumps the
+// generation so concurrent stale fills are discarded.
+func (s *CacheStore) store(key string, data []byte, gen uint64, mutation bool) {
+	if s.maxBytes <= 0 {
+		return // caching disabled; nothing is ever resident
+	}
 	if int64(len(data)) > s.maxBytes {
 		s.invalidate(key)
 		return
@@ -92,11 +99,14 @@ func (s *CacheStore) store(key string, data []byte, fillGen int64) {
 	copy(c, data)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if fillGen >= 0 {
-		if s.gen != uint64(fillGen) {
-			return
+	if s.gen != gen {
+		if mutation {
+			s.gen++
+			s.dropLocked(key)
 		}
-	} else {
+		return
+	}
+	if mutation {
 		s.gen++
 	}
 	if el, ok := s.items[key]; ok {
@@ -127,6 +137,11 @@ func (s *CacheStore) invalidate(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.gen++
+	s.dropLocked(key)
+}
+
+// dropLocked removes key from the cache, if present. Callers hold mu.
+func (s *CacheStore) dropLocked(key string) {
 	if el, ok := s.items[key]; ok {
 		e := el.Value.(*cacheEntry)
 		s.lru.Remove(el)
@@ -138,13 +153,18 @@ func (s *CacheStore) invalidate(key string) {
 
 // Put implements Store: write-through, then refresh the cached copy. On
 // inner failure nothing is cached, so the cache never gets ahead of the
-// durable state.
+// durable state. The refresh is guarded by the generation observed before
+// the inner write: if another mutation raced this one, the key is dropped
+// instead of refreshed, since the inner store may hold either value.
 func (s *CacheStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	gen := s.gen
+	s.mu.Unlock()
 	if err := s.inner.Put(key, data); err != nil {
 		s.invalidate(key)
 		return err
 	}
-	s.store(key, data, -1)
+	s.store(key, data, gen, true)
 	return nil
 }
 
@@ -158,7 +178,7 @@ func (s *CacheStore) Get(key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.store(key, data, int64(gen))
+	s.store(key, data, gen, false)
 	return data, nil
 }
 
@@ -174,11 +194,16 @@ func (s *CacheStore) Size(key string) (int64, error) {
 	return s.inner.Size(key)
 }
 
-// Delete implements Store, invalidating before the inner delete so a
-// concurrent Get cannot re-populate a value the inner store is dropping.
+// Delete implements Store, invalidating after the inner delete completes:
+// the generation bump then postdates the inner mutation, so a concurrent
+// read-miss fill that observed the pre-delete value is discarded by the
+// fill-generation guard and the deleted key can never be resurrected from
+// cache. (Invalidating before the inner delete would leave a window where a
+// reader re-fills the still-present value with no later invalidation.)
 func (s *CacheStore) Delete(key string) error {
+	err := s.inner.Delete(key)
 	s.invalidate(key)
-	return s.inner.Delete(key)
+	return err
 }
 
 // Keys implements Store.

@@ -240,6 +240,102 @@ func TestCacheOversizeValueNotCached(t *testing.T) {
 	}
 }
 
+// hookStore wraps a Store with callbacks fired around inner mutations, used
+// to pin deterministic interleavings of the cache coherence races.
+type hookStore struct {
+	Store
+	beforeDelete func()
+	afterPut     func()
+}
+
+func (h *hookStore) Delete(key string) error {
+	if h.beforeDelete != nil {
+		h.beforeDelete()
+	}
+	return h.Store.Delete(key)
+}
+
+func (h *hookStore) Put(key string, data []byte) error {
+	err := h.Store.Put(key, data)
+	if h.afterPut != nil {
+		h.afterPut()
+	}
+	return err
+}
+
+// TestCacheDeleteNoResurrection pins the Delete coherence guarantee: a
+// read-miss fill racing a Delete must not resurrect the deleted value. The
+// inner delete is hooked so a Get re-fills the cache exactly in the window
+// where the value is still present in the inner store; the invalidation
+// after the inner delete must drop that fill.
+func TestCacheDeleteNoResurrection(t *testing.T) {
+	inner := &hookStore{Store: NewMemStore()}
+	c := NewCacheStore(inner, 1<<20)
+	if err := c.Put("k", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	c.Purge() // force the racing Get below to miss and fill from inner
+	inner.beforeDelete = func() {
+		if v, err := c.Get("k"); err != nil || !bytes.Equal(v, []byte("doomed")) {
+			t.Errorf("racing Get before inner delete: %q, %v", v, err)
+		}
+	}
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key served after racing re-fill: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestCachePutRefreshNotStale pins the generation-guarded Put refresh: when
+// two Puts to one key race such that the first writer's cache refresh runs
+// last, that refresh must drop the key rather than publish, since the inner
+// store holds the second writer's value.
+func TestCachePutRefreshNotStale(t *testing.T) {
+	inner := &hookStore{Store: NewMemStore()}
+	c := NewCacheStore(inner, 1<<20)
+	innerDone := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan struct{})
+	inner.afterPut = func() {
+		inner.afterPut = nil // gate only the first Put
+		close(innerDone)
+		<-release
+	}
+	go func() {
+		defer close(firstDone)
+		if err := c.Put("k", []byte("stale")); err != nil {
+			t.Errorf("first Put: %v", err)
+		}
+	}()
+	<-innerDone
+	if err := c.Put("k", []byte("fresh")); err != nil { // inner + refresh complete
+		t.Fatal(err)
+	}
+	close(release) // the first Put's refresh now runs last and must abandon
+	<-firstDone
+	got, err := c.Get("k")
+	if err != nil || !bytes.Equal(got, []byte("fresh")) {
+		t.Fatalf("Get after racing refresh = %q, %v; want %q (the inner store's value)", got, err, "fresh")
+	}
+}
+
+// TestCacheDisabledBudget pins that maxBytes <= 0 disables caching even for
+// zero-length values, which the size comparison alone would retain.
+func TestCacheDisabledBudget(t *testing.T) {
+	c := NewCacheStore(NewMemStore(), 0)
+	if err := c.Put("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.CachedLen(); n != 0 {
+		t.Fatalf("CachedLen with disabled cache = %d, want 0", n)
+	}
+}
+
 // TestCacheScrubInvalidates pins that a Scrub through the cache drops
 // quarantined keys from memory: a corrupt value must not stay readable from
 // the cache after the checksum layer moved it aside on disk.

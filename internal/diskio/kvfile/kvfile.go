@@ -511,6 +511,7 @@ func (s *Store) Delete(key string) error {
 	if err := s.maybeCommit(false); err != nil {
 		return err
 	}
+	s.countWrite(0)
 	return s.maybeCompact()
 }
 
@@ -640,9 +641,13 @@ func (s *Store) compactLocked() error {
 	if err := os.Rename(tmpPath, s.path); err != nil {
 		return cleanup(fmt.Errorf("kvfile: compact %s: %w", s.path, err))
 	}
+	// Past the rename the compacted file IS the store: the old inode is
+	// unlinked, so the in-memory swap must complete even if the directory
+	// sync fails — otherwise later appends would land in a deleted file and
+	// vanish at close. The sync error is surfaced after the swap.
+	var dirErr error
 	if err := syncDir(filepath.Dir(s.path)); err != nil {
-		tmp.Close()
-		return fmt.Errorf("kvfile: compact %s: %w", s.path, err)
+		dirErr = fmt.Errorf("kvfile: compact %s: %w", s.path, err)
 	}
 	reclaimed := (s.dataEnd - superblockSize) - (off - superblockSize)
 	old := s.f
@@ -657,7 +662,7 @@ func (s *Store) compactLocked() error {
 	s.pending = 0
 	obs.Default().Counter("diskio.kvfile.compactions").Inc()
 	obs.Default().Counter("diskio.kvfile.compact.reclaimed_bytes").Add(reclaimed)
-	return nil
+	return dirErr
 }
 
 // LogBytes returns the current log length excluding the superblock — the

@@ -323,3 +323,34 @@ func TestLeftoverCompactTempIgnored(t *testing.T) {
 		t.Fatalf("leftover compact temp not removed: %v", err)
 	}
 }
+
+// TestStatsCountMutations pins the I/O accounting the perf suite relies on:
+// every Put and every effective Delete counts as one write, absent-key
+// deletes count nothing, and Get counts one read of the value length.
+func TestStatsCountMutations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.kv")
+	s := openT(t, path, Options{})
+	defer s.Close()
+	if err := s.Put("a", []byte("xyz")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.Get("a"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := s.Delete("absent"); err != nil { // no-op, must not count
+		t.Fatalf("Delete absent: %v", err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	st := s.Stats()
+	if st.Writes != 2 {
+		t.Fatalf("Writes = %d, want 2 (one Put + one effective Delete)", st.Writes)
+	}
+	if st.BytesWritten != 3 {
+		t.Fatalf("BytesWritten = %d, want 3", st.BytesWritten)
+	}
+	if st.Reads != 1 || st.BytesRead != 3 {
+		t.Fatalf("Reads/BytesRead = %d/%d, want 1/3", st.Reads, st.BytesRead)
+	}
+}
